@@ -1,0 +1,57 @@
+"""E1-G5K: Harmony performance/staleness on the Grid'5000 preset (§IV-A).
+
+Paper setup: 84 nodes on two Grid'5000 sites, heavy read-update YCSB,
+Harmony at 20%/40% tolerated staleness vs static eventual/strong.
+Paper shape: Harmony cuts stale reads vs eventual by ~80% with minimal
+latency cost, and beats strong consistency's throughput by up to 45%.
+(The simulator's closed-loop clients amplify the throughput ratio; the
+*direction and ordering* are the reproduced claims.)
+"""
+
+import pytest
+
+from repro.experiments.harmony_eval import run_harmony_eval
+from repro.experiments.platforms import grid5000_harmony_platform
+
+
+@pytest.fixture(scope="module")
+def e1_result():
+    return run_harmony_eval(
+        grid5000_harmony_platform(),
+        tolerances=(0.2, 0.4),
+        ops=24_000,
+        seed=11,
+    )
+
+
+def test_e1_grid5000_harmony(benchmark, e1_result, record_table):
+    res = benchmark.pedantic(lambda: e1_result, rounds=1, iterations=1)
+    record_table(
+        "e1_harmony_grid5000", res.table(), *(" " + c for c in res.claims())
+    )
+
+    eventual = res.reports["eventual"]
+    strong = res.reports["strong"]
+
+    # each Harmony tolerance is respected (with sampling margin)
+    for tol in (0.2, 0.4):
+        rep = res.reports[f"harmony({tol:g})"]
+        assert rep.stale_rate_strict <= tol + 0.05
+
+    # ordering: eventual fastest+stalest, strong slowest+fresh
+    assert eventual.stale_rate_strict > 0.1
+    assert strong.stale_rate == 0.0
+    assert eventual.throughput > strong.throughput
+
+    # headline claims hold in direction
+    assert res.stale_reduction_vs_eventual > 0.4  # paper: ~80%
+    assert res.throughput_gain_vs_strong > 0.45  # paper: up to 45%
+
+
+def test_e1_harmony_latency_between_extremes(e1_result):
+    eventual = e1_result.reports["eventual"]
+    strong = e1_result.reports["strong"]
+    for tol in (0.2, 0.4):
+        rep = e1_result.reports[f"harmony({tol:g})"]
+        assert eventual.read_latency_mean <= rep.read_latency_mean * 1.05
+        assert rep.read_latency_mean <= strong.read_latency_mean * 1.05

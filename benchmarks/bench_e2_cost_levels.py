@@ -1,0 +1,55 @@
+"""E2-COST: consistency impact on monetary cost (§IV-B, first set).
+
+Paper setup: Cassandra at RF=5 over two availability zones of us-east-1
+(18 VMs), heavy read-update workload, one run per static consistency level,
+three-part bill decomposition (instances + storage + network).
+
+Paper shape reproduced here:
+- the total bill decreases monotonically as the level weakens
+  (paper: down to 48% cheaper at the weakest level);
+- QUORUM stays always-fresh yet costs ~13% less than ALL;
+- at level ONE only ~21% of reads are *estimated* to be up-to-date.
+"""
+
+import pytest
+
+from repro.experiments.cost_eval import run_cost_eval
+from repro.experiments.platforms import ec2_cost_platform
+
+
+@pytest.fixture(scope="module")
+def e2_result():
+    return run_cost_eval(ec2_cost_platform(), ops=30_000, seed=11)
+
+
+def test_e2_cost_levels(benchmark, e2_result, record_table):
+    res = benchmark.pedantic(lambda: e2_result, rounds=1, iterations=1)
+    record_table("e2_cost_levels", res.table(), *(" " + c for c in res.claims()))
+
+    totals = [res.bills[name].total for name in ("ONE", "TWO", "QUORUM", "FOUR", "ALL")]
+    # cost decreases when degrading the consistency level
+    for weaker, stronger in zip(totals, totals[1:]):
+        assert weaker <= stronger * 1.02  # monotone within noise
+
+    # headline ratios in the paper's ballpark
+    assert 0.25 <= res.cost_reduction_one_vs_all <= 0.60  # paper: 48%
+    assert 0.05 <= res.cost_reduction_quorum_vs_all <= 0.30  # paper: 13%
+
+    # QUORUM always returns an up-to-date replica
+    assert res.reports["QUORUM"].stale_rate == 0.0
+
+    # estimated freshness at ONE collapses under heavy read-update
+    assert res.fresh_reads_at_one_estimated < 0.5  # paper: 21%
+
+
+def test_e2_bill_parts_all_positive(e2_result):
+    for bill in e2_result.bills.values():
+        assert bill.instance_cost > 0
+        assert bill.storage_cost > 0
+        assert bill.network_cost > 0
+
+
+def test_e2_measured_staleness_ordering(e2_result):
+    stale = {k: r.stale_rate_strict for k, r in e2_result.reports.items()}
+    assert stale["ONE"] >= stale["TWO"] >= stale["QUORUM"]
+    assert stale["ALL"] == pytest.approx(0.0, abs=1e-6)

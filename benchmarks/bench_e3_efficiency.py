@@ -1,0 +1,67 @@
+"""E3-EFF: consistency-cost efficiency metric samples (§IV-B).
+
+Paper setup: "we collect samples when running the same workload with
+different access patterns and different consistency levels". Paper finding:
+"the most efficient consistency levels are the ones that provide a
+staleness rate smaller than 20%. This demonstrates the effectiveness of our
+metric where lower levels are efficient only when they provide an
+acceptable consistency."
+"""
+
+import pytest
+
+from repro.experiments.bismar_eval import efficiency_table, run_efficiency_samples
+from repro.experiments.platforms import grid5000_bismar_platform
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return run_efficiency_samples(
+        grid5000_bismar_platform(),
+        levels=(1, 2, 3, 4, 5),
+        ops=15_000,
+        seed=11,
+        target_throughput=8_000.0,
+    )
+
+
+def test_e3_efficiency_samples(benchmark, samples, record_table):
+    rows = benchmark.pedantic(lambda: samples, rounds=1, iterations=1)
+    record_table("e3_efficiency", efficiency_table(rows))
+
+    by_pattern = {}
+    for s in rows:
+        by_pattern.setdefault(s.pattern, []).append(s)
+
+    assert len(by_pattern) == 3  # zipfian / uniform / hotspot access patterns
+    for pattern, group in by_pattern.items():
+        assert len(group) == 5
+        winner = max(group, key=lambda s: s.efficiency)
+        # the paper's headline: efficient levels are the acceptably
+        # consistent ones (staleness below ~20%)
+        assert winner.stale_rate < 0.20, (
+            f"{pattern}: winner {winner.level} has {winner.stale_rate:.0%} stale"
+        )
+
+
+def test_e3_relative_cost_grows_with_level(samples):
+    by_pattern = {}
+    for s in samples:
+        by_pattern.setdefault(s.pattern, {})[s.level] = s
+    for group in by_pattern.values():
+        assert group["n=5"].relative_cost >= group["n=1"].relative_cost
+
+
+def test_e3_heavily_stale_weak_levels_lose(samples):
+    # wherever a weak level is badly stale, its efficiency must trail the
+    # best fresh level of the same pattern
+    by_pattern = {}
+    for s in samples:
+        by_pattern.setdefault(s.pattern, []).append(s)
+    for group in by_pattern.values():
+        fresh_best = max(
+            (s.efficiency for s in group if s.stale_rate < 0.05), default=None
+        )
+        for s in group:
+            if s.stale_rate > 0.5 and fresh_best is not None:
+                assert s.efficiency < fresh_best

@@ -1,0 +1,124 @@
+"""EXT: the §V future-work extensions, measured.
+
+Three mini-experiments for the paper's stated follow-on directions:
+
+1. energy per consistency level (§V direction 1) -- stronger levels cost
+   more joules per operation (longer runs at equal idle burn + more replica
+   work);
+2. provisioning advisor (§V direction 2) -- the cheapest feasible
+   deployment for the paper-scale workload envelope, plus the
+   load-monotonicity of the recommendation;
+3. freshness deadlines (§V direction 3) -- bounded-staleness enforcement
+   over a heavy run: zero violations after drain.
+"""
+
+import pytest
+
+from repro.common.tables import Table
+from repro.cluster.deadline import FreshnessDeadline
+from repro.cost.power import PowerModel
+from repro.cost.pricing import EC2_US_EAST_2013
+from repro.cost.provisioning import ProvisioningAdvisor, WorkloadEnvelope
+from repro.experiments.platforms import grid5000_bismar_platform
+from repro.policy import StaticPolicy
+from repro.workload.client import WorkloadRunner
+from repro.workload.workloads import heavy_read_update
+
+
+def test_ext_energy_per_level(benchmark, record_table):
+    plat = grid5000_bismar_platform()
+
+    def run():
+        rows = []
+        for lv in (1, 3, 5):
+            sim, store = plat.build(seed=2)
+            meter = PowerModel(store)
+            WorkloadRunner(
+                store, heavy_read_update(record_count=100),
+                policy=StaticPolicy(lv, lv), n_clients=16, ops_total=5000,
+                seed=2,
+            ).run()
+            rep = meter.report()
+            rows.append((lv, rep.duration, rep.joules_per_kop))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(
+        "EXT-1: energy per consistency level (95/170 W linear model)",
+        ["level", "duration s", "J per kop"],
+    )
+    for lv, dur, jk in rows:
+        t.add_row([f"n={lv}", round(dur, 2), round(jk, 0)])
+    record_table("ext_energy_per_level", t)
+
+    joules = {lv: jk for lv, _, jk in rows}
+    assert joules[1] < joules[3] < joules[5]
+
+
+def test_ext_provisioning(benchmark, record_table):
+    advisor = ProvisioningAdvisor(
+        prices=EC2_US_EAST_2013,
+        dc_delays=[[0.0002, 0.009], [0.009, 0.0002]],
+    )
+    env = WorkloadEnvelope(
+        read_rate=8000.0,
+        write_rate=8000.0,
+        hot_key_write_rate=300.0,
+        data_size_bytes=24_000_000_000,
+        stale_tolerance=0.05,
+        failures_tolerated=1,
+    )
+
+    def run():
+        return advisor.evaluate(env)
+
+    candidates = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(
+        "EXT-2: provisioning sweep (8k+8k ops/s, 24 GB, <=5% stale, f=1)",
+        ["nodes/DC", "RF/DC", "level", "est stale %", "monthly $", "verdict"],
+    )
+    for c in candidates:
+        t.add_row(
+            [
+                "+".join(map(str, c.nodes_per_dc)),
+                "+".join(map(str, c.rf_per_dc)),
+                c.read_level or "-",
+                round(c.est_stale_rate * 100, 2),
+                round(c.monthly_cost, 0),
+                "OK" if c.feasible else c.reason,
+            ]
+        )
+    record_table("ext_provisioning", t)
+
+    feasible = [c for c in candidates if c.feasible]
+    assert feasible
+    best = feasible[0]
+    assert best.monthly_cost == min(c.monthly_cost for c in feasible)
+    assert best.est_stale_rate <= env.stale_tolerance
+    assert best.rf_total - env.failures_tolerated >= best.read_level
+
+
+def test_ext_freshness_deadline(benchmark, record_table):
+    plat = grid5000_bismar_platform()
+
+    def run():
+        sim, store = plat.build(seed=3)
+        guard = FreshnessDeadline(store, deadline=0.05)
+        store.add_listener(guard)
+        rep = WorkloadRunner(
+            store, heavy_read_update(record_count=100),
+            policy=StaticPolicy(1, 1), n_clients=16, ops_total=6000, seed=3,
+        ).run()
+        sim.run(until=sim.now + 1.0)
+        return guard, rep
+
+    guard, rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(
+        "EXT-3: 50 ms freshness deadline over a level-ONE run",
+        ["ops", "deadline checks", "re-pushes", "violations"],
+    )
+    t.add_row([rep.ops_completed, guard.checks, guard.repushes, guard.violations()])
+    record_table("ext_freshness_deadline", t)
+
+    assert guard.checks > 0
+    assert guard.violations() == 0

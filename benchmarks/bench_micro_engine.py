@@ -1,0 +1,76 @@
+"""Microbenchmarks guarding the simulator's own performance.
+
+The experiment suite sweeps dozens of configurations; these benches track
+the throughput of the four hot paths so a regression shows up as a timing
+change rather than as mysteriously slow experiments:
+
+- raw event-queue throughput (schedule + fire);
+- zipfian key sampling;
+- closed-form stale-model evaluation;
+- end-to-end simulated operations per wall second.
+"""
+
+import numpy as np
+
+from repro.cluster.store import StoreConfig
+from repro.experiments.platforms import ec2_harmony_platform
+from repro.policy import StaticPolicy
+from repro.simcore.simulator import Simulator
+from repro.stale.model import StaleModelParams, system_stale_rate
+from repro.workload.client import WorkloadRunner
+from repro.workload.distributions import ScrambledZipfianChooser
+from repro.workload.workloads import heavy_read_update
+
+
+def test_micro_event_queue(benchmark):
+    def run():
+        sim = Simulator()
+        sink = []
+        for i in range(20_000):
+            sim.schedule(float(i % 97) * 1e-4, sink.append, i)
+        sim.run()
+        return len(sink)
+
+    assert benchmark(run) == 20_000
+
+
+def test_micro_zipfian_sampling(benchmark):
+    chooser = ScrambledZipfianChooser(10_000, rng=0)
+
+    def run():
+        acc = 0
+        for _ in range(20_000):
+            acc += chooser.next_index()
+        return acc
+
+    assert benchmark(run) >= 0
+
+
+def test_micro_stale_model_eval(benchmark):
+    params = StaleModelParams(
+        write_rate=5000.0,
+        windows=[0.0005, 0.001, 0.002, 0.009, 0.012],
+        key_profile=[(0.001, 0.001, 1)] * 500 + [(0.5, 0.5, 1)],
+        strict=True,
+    )
+
+    def run():
+        return [system_stale_rate(params, r, 1) for r in range(1, 6)]
+
+    est = benchmark(run)
+    assert len(est) == 5
+
+
+def test_micro_end_to_end_ops(benchmark):
+    """Simulated-operations-per-wall-second of a full 20-node deployment."""
+    plat = ec2_harmony_platform()
+
+    def run():
+        sim, store = plat.build(seed=0)
+        rep = WorkloadRunner(
+            store, heavy_read_update(record_count=200),
+            policy=StaticPolicy(1, 1), n_clients=16, ops_total=4000, seed=0,
+        ).run()
+        return rep.ops_completed
+
+    assert benchmark(run) == 4000

@@ -1,0 +1,79 @@
+"""repro: self-adaptive cost-efficient consistency management in the cloud.
+
+A full reproduction of Chihoub, *Self-Adaptive Cost-Efficient Consistency
+Management in the Cloud* (IPDPS 2013 PhD Forum): the **Harmony** adaptive
+consistency engine, the **Bismar** consistency-cost-efficiency policy, and
+the **application behavior modeling** pipeline -- together with every
+substrate they need, built from scratch:
+
+- a discrete-event, Cassandra-like geo-replicated key-value store with
+  tunable per-operation consistency (:mod:`repro.cluster`,
+  :mod:`repro.simcore`, :mod:`repro.net`);
+- a YCSB-compatible workload generator (:mod:`repro.workload`);
+- a probabilistic stale-read model validated three ways
+  (:mod:`repro.stale`);
+- an EC2-style three-part billing model (:mod:`repro.cost`);
+- monitoring (:mod:`repro.monitor`), baselines from related work
+  (:mod:`repro.baselines`) and the experiment harness reproducing every
+  result of the paper's evaluation (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro.experiments import ec2_harmony_platform, harmony_factory, run_one
+>>> report, bill = run_one(ec2_harmony_platform(), harmony_factory(0.05))
+>>> report.stale_rate <= 0.05
+True
+"""
+
+from repro.policy import ConsistencyPolicy, StaticPolicy, EVENTUAL, QUORUM, STRONG
+from repro.cluster import (
+    ConsistencyLevel,
+    ReplicatedStore,
+    StoreConfig,
+    SimpleStrategy,
+    NetworkTopologyStrategy,
+    FailureInjector,
+)
+from repro.net import Topology, Datacenter, LinkClass, LogNormalLatency
+from repro.simcore import Simulator
+from repro.monitor import ClusterMonitor
+from repro.harmony import HarmonyEngine
+from repro.bismar import BismarEngine
+from repro.cost import PriceBook, EC2_US_EAST_2013, Biller, CostEstimator
+from repro.behavior import BehaviorModel, BehaviorPolicy
+from repro.workload import WorkloadRunner, WorkloadSpec, WORKLOADS, heavy_read_update
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConsistencyPolicy",
+    "StaticPolicy",
+    "EVENTUAL",
+    "QUORUM",
+    "STRONG",
+    "ConsistencyLevel",
+    "ReplicatedStore",
+    "StoreConfig",
+    "SimpleStrategy",
+    "NetworkTopologyStrategy",
+    "FailureInjector",
+    "Topology",
+    "Datacenter",
+    "LinkClass",
+    "LogNormalLatency",
+    "Simulator",
+    "ClusterMonitor",
+    "HarmonyEngine",
+    "BismarEngine",
+    "PriceBook",
+    "EC2_US_EAST_2013",
+    "Biller",
+    "CostEstimator",
+    "BehaviorModel",
+    "BehaviorPolicy",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "heavy_read_update",
+    "__version__",
+]

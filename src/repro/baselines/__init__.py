@@ -1,0 +1,19 @@
+"""Related-work baselines (paper §II), for head-to-head comparison.
+
+- :mod:`repro.baselines.rationing` -- Kraska et al., *Consistency Rationing
+  in the Cloud* (VLDB'09): switch between strong and weak consistency by
+  thresholding the estimated probability of an update conflict;
+- :mod:`repro.baselines.rwratio` -- Wang et al. (GCC'10): switch between
+  strong and eventual consistency by comparing the read/write rate ratio to
+  a static threshold.
+
+Both are implemented as :class:`~repro.policy.ConsistencyPolicy` objects so
+every experiment can run them in the same harness as Harmony/Bismar; the
+paper's §II critiques (conflict probability ignores staleness; arbitrary
+static threshold) are directly observable in the results.
+"""
+
+from repro.baselines.rationing import ConsistencyRationingPolicy
+from repro.baselines.rwratio import ReadWriteRatioPolicy
+
+__all__ = ["ConsistencyRationingPolicy", "ReadWriteRatioPolicy"]

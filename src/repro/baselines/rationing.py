@@ -1,0 +1,104 @@
+"""Kraska-style consistency rationing (VLDB'09), as a policy baseline.
+
+Their model: inconsistency arises from *update conflicts*. With writes to a
+record arriving at Poisson rate ``lambda_w`` and taking a window ``W`` to
+settle, the probability that another update lands inside a given update's
+window is ``P_conflict = 1 - exp(-lambda_w * W)``. When the (workload-wide,
+hot-key-weighted) conflict probability exceeds a threshold, the policy runs
+*serializability-like* strong consistency (QUORUM/QUORUM here -- the
+strongest sensible per-op Cassandra analogue); otherwise it runs weak
+session-style consistency (ONE/ONE).
+
+The paper's §II critique is visible by construction: the switch ignores
+read-side staleness entirely (a read-heavy workload with modest writes
+keeps conflict probability low and stays weak no matter how stale reads
+get), and the threshold prices pending-update queues rather than the
+application's tolerated stale rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.cluster.consistency import ConsistencyLevel, LevelSpec
+from repro.monitor.collector import ClusterMonitor
+
+__all__ = ["ConsistencyRationingPolicy"]
+
+
+class ConsistencyRationingPolicy:
+    """Conflict-probability-thresholded strong/weak switching.
+
+    Parameters
+    ----------
+    monitor:
+        Cluster monitor attached to the target store.
+    threshold:
+        Conflict probability above which the policy goes strong.
+    conflict_window:
+        The settle window ``W`` (defaults to the monitor's observed full
+        propagation proxy, falling back to this value before warm).
+    """
+
+    def __init__(
+        self,
+        monitor: ClusterMonitor,
+        threshold: float = 0.01,
+        conflict_window: float = 0.05,
+        update_interval: float = 1.0,
+    ):
+        if not (0.0 <= threshold <= 1.0):
+            raise ConfigError(f"threshold must be in [0,1], got {threshold}")
+        if conflict_window <= 0:
+            raise ConfigError(f"conflict_window must be positive, got {conflict_window}")
+        self.monitor = monitor
+        self.threshold = float(threshold)
+        self.conflict_window = float(conflict_window)
+        self.update_interval = float(update_interval)
+        self._strong = False
+        self._last_update = -float("inf")
+        self.decisions: List[Tuple[float, bool, float]] = []
+
+    @property
+    def name(self) -> str:
+        return f"rationing({self.threshold:g})"
+
+    def conflict_probability(self, now: float) -> float:
+        """Hot-key-weighted update-conflict probability estimate."""
+        write_rate = self.monitor.write_rate.rate(now)
+        if write_rate <= 0:
+            return 0.0
+        ranks = self.monitor.ack_rank_means(recent=True)
+        window = ranks[-1] if ranks and ranks[-1] > 0 else self.conflict_window
+        # Weight per-key conflict probability by the key's write share: the
+        # probability that a random update conflicts with a concurrent one.
+        shares = self.monitor.keys.write_shares()
+        if not shares:
+            lam = write_rate
+            return 1.0 - math.exp(-lam * window)
+        acc = 0.0
+        for share in shares.values():
+            lam_key = write_rate * share
+            acc += share * (1.0 - math.exp(-lam_key * window))
+        return acc
+
+    def _refresh(self, now: float) -> None:
+        self._last_update = now
+        p = self.conflict_probability(now)
+        self._strong = p > self.threshold
+        self.decisions.append((now, self._strong, p))
+
+    def read_level(self, now: float) -> LevelSpec:
+        if now - self._last_update >= self.update_interval:
+            self._refresh(now)
+        return ConsistencyLevel.QUORUM if self._strong else ConsistencyLevel.ONE
+
+    def write_level(self, now: float) -> LevelSpec:
+        if now - self._last_update >= self.update_interval:
+            self._refresh(now)
+        return ConsistencyLevel.QUORUM if self._strong else ConsistencyLevel.ONE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConsistencyRationingPolicy(threshold={self.threshold}, strong={self._strong})"

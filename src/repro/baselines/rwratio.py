@@ -1,0 +1,75 @@
+"""Wang-style read/write-ratio adaptive consistency (GCC'10), as a baseline.
+
+Their mechanism: compare the read rate to the write rate; when the ratio
+exceeds a static threshold the system serves reads with eventual
+consistency (reads dominate, so cheap reads pay off), otherwise it uses
+strong consistency. The paper's §II critique -- "the main limitation of
+this work is the arbitrary choice of a static threshold" -- shows up
+directly in the benchmarks: no single threshold tracks workloads whose
+staleness is driven by propagation time and key skew rather than by the
+r/w ratio.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.cluster.consistency import ConsistencyLevel, LevelSpec
+from repro.monitor.collector import ClusterMonitor
+
+__all__ = ["ReadWriteRatioPolicy"]
+
+
+class ReadWriteRatioPolicy:
+    """Static-threshold read/write-ratio switching.
+
+    Parameters
+    ----------
+    monitor:
+        Cluster monitor attached to the target store.
+    threshold:
+        When ``read_rate / write_rate`` exceeds this, reads go eventual
+        (ONE); otherwise reads go strong (QUORUM). Writes mirror reads, as
+        in the original primary/secondary design's strong mode.
+    """
+
+    def __init__(
+        self,
+        monitor: ClusterMonitor,
+        threshold: float = 4.0,
+        update_interval: float = 1.0,
+    ):
+        if threshold <= 0:
+            raise ConfigError(f"threshold must be positive, got {threshold}")
+        self.monitor = monitor
+        self.threshold = float(threshold)
+        self.update_interval = float(update_interval)
+        self._weak = True
+        self._last_update = -float("inf")
+        self.decisions: List[Tuple[float, bool, float]] = []
+
+    @property
+    def name(self) -> str:
+        return f"rwratio({self.threshold:g})"
+
+    def _refresh(self, now: float) -> None:
+        self._last_update = now
+        rr = self.monitor.read_rate.rate(now)
+        wr = self.monitor.write_rate.rate(now)
+        ratio = rr / wr if wr > 0 else float("inf")
+        self._weak = ratio > self.threshold
+        self.decisions.append((now, self._weak, ratio))
+
+    def read_level(self, now: float) -> LevelSpec:
+        if now - self._last_update >= self.update_interval:
+            self._refresh(now)
+        return ConsistencyLevel.ONE if self._weak else ConsistencyLevel.QUORUM
+
+    def write_level(self, now: float) -> LevelSpec:
+        if now - self._last_update >= self.update_interval:
+            self._refresh(now)
+        return ConsistencyLevel.ONE if self._weak else ConsistencyLevel.QUORUM
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReadWriteRatioPolicy(threshold={self.threshold}, weak={self._weak})"

@@ -1,0 +1,52 @@
+"""Application behavior modeling (contribution C, §III-C).
+
+The paper's offline pipeline, mechanized end to end:
+
+1. **feature extraction** (:mod:`features`): "several predefined metrics are
+   collected based on application data access past traces ... per time
+   period in order to build the application timeline";
+2. **timeline** (:mod:`timeline`): the per-window feature matrix;
+3. **clustering** (:mod:`clustering`): "processed by machine learning
+   techniques in order to identify the different states" -- k-means (from
+   scratch, deterministic k-means++ seeding) with silhouette-based model
+   selection;
+4. **states** (:mod:`states`): state statistics and the empirical state
+   transition (evolvement) matrix;
+5. **rules** (:mod:`rules`): "each state is then automatically associated
+   with a consistency policy ... based on a set of both generic predefined
+   rules and customized rules";
+6. **classifier** (:mod:`classifier`): "at runtime, the application state is
+   identified by the application classifier and accordingly, it chooses the
+   consistency policy associated with that state" -- a nearest-centroid
+   classifier over the live monitor's window features;
+7. **manager** (:mod:`manager`): the runtime policy object tying 1-6 into a
+   :class:`~repro.policy.ConsistencyPolicy`.
+"""
+
+from repro.behavior.features import WindowFeatures, extract_features
+from repro.behavior.timeline import Timeline, build_timeline
+from repro.behavior.clustering import KMeans, KMeansResult, silhouette_score, choose_k
+from repro.behavior.states import StateModel, StateSummary
+from repro.behavior.rules import Rule, RuleBook, default_rulebook, PolicyAssignment
+from repro.behavior.classifier import StateClassifier
+from repro.behavior.manager import BehaviorModel, BehaviorPolicy
+
+__all__ = [
+    "WindowFeatures",
+    "extract_features",
+    "Timeline",
+    "build_timeline",
+    "KMeans",
+    "KMeansResult",
+    "silhouette_score",
+    "choose_k",
+    "StateModel",
+    "StateSummary",
+    "Rule",
+    "RuleBook",
+    "default_rulebook",
+    "PolicyAssignment",
+    "StateClassifier",
+    "BehaviorModel",
+    "BehaviorPolicy",
+]

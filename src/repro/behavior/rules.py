@@ -1,0 +1,159 @@
+"""Rule-based state-to-policy assignment.
+
+§III-C: "Each state is then automatically associated with a consistency
+policy (policies include geographical policies, Harmony, and static
+eventual and strong policies) based on a set of both generic predefined
+rules and customized rules (integrated by application' administrator)
+specific for the application."
+
+A :class:`Rule` is a predicate over a :class:`~repro.behavior.states.StateSummary`
+plus a policy *recipe* (a factory name and parameters -- recipes rather
+than live policy objects, because adaptive policies like Harmony must be
+instantiated against the runtime store/monitor, not at rule-authoring
+time). A :class:`RuleBook` evaluates rules in priority order; the first
+match wins; a default recipe backs the book.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.behavior.states import StateModel, StateSummary
+
+__all__ = ["PolicyAssignment", "Rule", "RuleBook", "default_rulebook"]
+
+
+@dataclass(frozen=True)
+class PolicyAssignment:
+    """A policy recipe bound to a state.
+
+    ``kind`` is one of the recipe names the runtime manager knows how to
+    instantiate: ``"eventual"``, ``"quorum"``, ``"strong"``,
+    ``"harmony"`` (params: ``tolerance``), ``"geographic"`` (params:
+    ``local_level``, the local-DC-quorum style policy).
+    """
+
+    kind: str
+    params: Dict[str, float] = field(default_factory=dict)
+    rule_name: str = ""
+
+    _KNOWN = ("eventual", "quorum", "strong", "harmony", "geographic")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KNOWN:
+            raise ConfigError(
+                f"unknown policy recipe {self.kind!r}; expected one of {self._KNOWN}"
+            )
+
+    def label(self) -> str:
+        """Readable recipe label for reports."""
+        if self.params:
+            inner = ",".join(f"{k}={v:g}" for k, v in sorted(self.params.items()))
+            return f"{self.kind}({inner})"
+        return self.kind
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One prioritized predicate -> recipe rule."""
+
+    name: str
+    predicate: Callable[[StateSummary], bool]
+    assignment: PolicyAssignment
+    priority: int = 0  # lower evaluates first
+
+    def matches(self, summary: StateSummary) -> bool:
+        """Whether this rule fires for the state."""
+        return bool(self.predicate(summary))
+
+
+class RuleBook:
+    """Prioritized rules plus a default assignment.
+
+    Generic rules ship with :func:`default_rulebook`; administrators add
+    application-specific ones with :meth:`add_custom` (custom rules get
+    priority below every generic rule by default, i.e. they are checked
+    *first* -- the administrator knows the application better than the
+    generic heuristics do).
+    """
+
+    def __init__(self, default: Optional[PolicyAssignment] = None):
+        self.rules: List[Rule] = []
+        self.default = default or PolicyAssignment("harmony", {"tolerance": 0.10})
+
+    def add(self, rule: Rule) -> None:
+        """Add a rule (stable-sorted by priority)."""
+        self.rules.append(rule)
+        self.rules.sort(key=lambda r: r.priority)
+
+    def add_custom(
+        self,
+        name: str,
+        predicate: Callable[[StateSummary], bool],
+        assignment: PolicyAssignment,
+    ) -> None:
+        """Add an administrator rule that outranks all generic rules."""
+        min_priority = min((r.priority for r in self.rules), default=0)
+        self.add(Rule(name, predicate, assignment, priority=min_priority - 1))
+
+    def assign(self, summary: StateSummary) -> PolicyAssignment:
+        """First matching rule's recipe (or the default)."""
+        for rule in self.rules:
+            if rule.matches(summary):
+                return PolicyAssignment(
+                    rule.assignment.kind, rule.assignment.params, rule.name
+                )
+        return PolicyAssignment(
+            self.default.kind, self.default.params, "default"
+        )
+
+    def assign_all(self, model: StateModel) -> Dict[int, PolicyAssignment]:
+        """Recipe per state id."""
+        return {s.state_id: self.assign(s) for s in model.summaries}
+
+
+def default_rulebook() -> RuleBook:
+    """The generic predefined rules of the reproduction.
+
+    Heuristics over raw state features, ordered from most to least
+    specific:
+
+    1. write-heavy reconciliation phases (read fraction < 0.4) keep QUORUM:
+       their reads are usually read-modify-write and must be fresh;
+    2. contended hot phases (high write rate on overlapping keys with
+       skew) run Harmony with a tight 5% tolerance;
+    3. read-mostly phases whose reads rarely touch written keys tolerate
+       eventual consistency outright;
+    4. everything else runs Harmony at a moderate 15% tolerance (the
+       default).
+    """
+    book = RuleBook(default=PolicyAssignment("harmony", {"tolerance": 0.15}))
+    book.add(
+        Rule(
+            name="write-heavy-needs-quorum",
+            predicate=lambda s: s["read_fraction"] < 0.4,
+            assignment=PolicyAssignment("quorum"),
+            priority=10,
+        )
+    )
+    book.add(
+        Rule(
+            name="hot-contended-tight-harmony",
+            predicate=lambda s: s["write_rate"] > 50.0
+            and s["rw_overlap"] > 0.3
+            and s["key_skew"] > 0.3,
+            assignment=PolicyAssignment("harmony", {"tolerance": 0.05}),
+            priority=20,
+        )
+    )
+    book.add(
+        Rule(
+            name="read-mostly-cold-eventual",
+            predicate=lambda s: s["read_fraction"] > 0.9 and s["rw_overlap"] < 0.1,
+            assignment=PolicyAssignment("eventual"),
+            priority=30,
+        )
+    )
+    return book

@@ -1,0 +1,21 @@
+"""Bismar: cost-efficient consistency (contribution B, §III-B).
+
+Bismar evaluates every consistency level with the paper's
+**consistency-cost efficiency** metric -- how much consistency each dollar
+buys -- and "the consistency level with the highest consistency-cost
+efficiency value is always chosen" at runtime.
+
+- :mod:`repro.bismar.efficiency` -- the metric;
+- :mod:`repro.bismar.engine` -- the adaptive policy combining the stale-read
+  model (consistency side) and the cost estimator (cost side).
+"""
+
+from repro.bismar.efficiency import consistency_cost_efficiency, EfficiencyRow
+from repro.bismar.engine import BismarEngine, BismarDecision
+
+__all__ = [
+    "consistency_cost_efficiency",
+    "EfficiencyRow",
+    "BismarEngine",
+    "BismarDecision",
+]

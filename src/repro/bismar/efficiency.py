@@ -1,0 +1,74 @@
+"""The consistency-cost efficiency metric.
+
+The paper introduces "a new metric, consistency-cost efficiency, to
+evaluate consistency in the cloud from an economical point of view". The
+metric is the ratio
+
+    efficiency(cl) = consistency(cl) / relative_cost(cl)
+
+where ``consistency(cl) = 1 - stale_rate(cl)`` (the fraction of fresh
+reads the level delivers) and ``relative_cost(cl)`` is the level's expected
+per-operation cost normalized by the cheapest level's. Normalization keeps
+the metric dimensionless; it does not change the argmax.
+
+The metric's behaviour matches the paper's observation: a weak level wins
+only while it "provides an acceptable consistency" -- once staleness grows,
+the numerator collapses faster than the denominator shrinks, and the
+efficient levels are the ones with staleness below roughly 20%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import ConfigError
+
+__all__ = ["consistency_cost_efficiency", "EfficiencyRow"]
+
+
+def consistency_cost_efficiency(stale_rate: float, relative_cost: float) -> float:
+    """Efficiency of one level: fresh-read fraction per unit of relative cost."""
+    if not (0.0 <= stale_rate <= 1.0):
+        raise ConfigError(f"stale_rate must be in [0, 1], got {stale_rate}")
+    if relative_cost <= 0.0:
+        raise ConfigError(f"relative_cost must be > 0, got {relative_cost}")
+    return (1.0 - stale_rate) / relative_cost
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    """One level's full evaluation (a row of the paper's samples table)."""
+
+    read_level: int
+    stale_rate: float
+    cost_per_op: float
+    relative_cost: float
+    efficiency: float
+
+
+def rank_levels(
+    stale_rates: Sequence[float], costs_per_op: Sequence[float]
+) -> List[EfficiencyRow]:
+    """Evaluate and sort levels by efficiency (best first).
+
+    ``stale_rates[i]`` / ``costs_per_op[i]`` describe read level ``i+1``.
+    """
+    if len(stale_rates) != len(costs_per_op):
+        raise ConfigError("stale_rates and costs_per_op must align")
+    if not stale_rates:
+        raise ConfigError("need at least one level")
+    floor = min(c for c in costs_per_op)
+    if floor <= 0:
+        raise ConfigError("costs must be positive")
+    rows = [
+        EfficiencyRow(
+            read_level=i + 1,
+            stale_rate=s,
+            cost_per_op=c,
+            relative_cost=c / floor,
+            efficiency=consistency_cost_efficiency(s, c / floor),
+        )
+        for i, (s, c) in enumerate(zip(stale_rates, costs_per_op))
+    ]
+    return sorted(rows, key=lambda row: -row.efficiency)

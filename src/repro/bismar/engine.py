@@ -1,0 +1,181 @@
+"""The Bismar adaptive policy.
+
+At every refresh Bismar evaluates each read level ``1..rf`` on both axes:
+
+- *consistency*: the estimated stale-read rate from the same probabilistic
+  model Harmony uses (:mod:`repro.stale.model`);
+- *cost*: the expected per-operation cost from the monitor-driven estimator
+  (:mod:`repro.cost.estimator`);
+
+and runs at the level with the highest consistency-cost efficiency. An
+optional hard staleness cap supports applications that want "efficient, but
+never worse than X% stale".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.cluster.consistency import LevelSpec
+from repro.bismar.efficiency import EfficiencyRow, rank_levels
+from repro.cost.estimator import CostEstimator
+from repro.monitor.collector import ClusterMonitor
+from repro.stale.dcmodel import DeploymentInfo, system_stale_rate_dc
+from repro.stale.model import params_from_snapshot, system_stale_rate
+
+__all__ = ["BismarDecision", "BismarEngine"]
+
+
+@dataclass(frozen=True)
+class BismarDecision:
+    """One Bismar adaptation step (kept for post-run analysis)."""
+
+    t: float
+    read_level: int
+    rows: List[EfficiencyRow]
+
+
+class BismarEngine:
+    """Cost-efficiency-maximizing consistency policy.
+
+    Parameters
+    ----------
+    monitor:
+        Cluster monitor attached to the target store.
+    cost_estimator:
+        Per-level cost model (build with
+        :meth:`repro.cost.estimator.CostEstimator.for_store`).
+    rf:
+        Replication factor.
+    write_level:
+        Fixed write level (reads are the tuned side, as in Harmony).
+    stale_cap:
+        Optional hard bound: levels whose estimated staleness exceeds the
+        cap are excluded before the efficiency argmax.
+    update_interval:
+        Seconds between decision refreshes.
+    """
+
+    def __init__(
+        self,
+        monitor: ClusterMonitor,
+        cost_estimator: CostEstimator,
+        rf: int,
+        write_level: int = 1,
+        stale_cap: Optional[float] = None,
+        update_interval: float = 1.0,
+        fallback_window: float = 0.05,
+        read_repair_chance: float = 0.0,
+        strict: bool = True,
+        deployment: "DeploymentInfo | None" = None,
+    ):
+        if rf < 1:
+            raise ConfigError(f"rf must be >= 1, got {rf}")
+        if stale_cap is not None and not (0.0 <= stale_cap <= 1.0):
+            raise ConfigError(f"stale_cap must be in [0,1], got {stale_cap}")
+        if update_interval <= 0:
+            raise ConfigError(f"update_interval must be positive, got {update_interval}")
+        self.monitor = monitor
+        self.cost_estimator = cost_estimator
+        self.rf = int(rf)
+        self._write_level = int(write_level)
+        self.stale_cap = stale_cap
+        self.update_interval = float(update_interval)
+        self.fallback_window = float(fallback_window)
+        self.read_repair_chance = float(read_repair_chance)
+        self.strict = bool(strict)
+        self.deployment = deployment
+
+        self._current = 1
+        self._last_update = -float("inf")
+        self.decisions: List[BismarDecision] = []
+
+    # -- ConsistencyPolicy interface -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        cap = f",cap={self.stale_cap:g}" if self.stale_cap is not None else ""
+        return f"bismar({cap.lstrip(',')})" if cap else "bismar"
+
+    def read_level(self, now: float) -> LevelSpec:
+        if now - self._last_update >= self.update_interval:
+            self._refresh(now)
+        return self._current
+
+    def write_level(self, now: float) -> LevelSpec:
+        return self._write_level
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def evaluate_levels(self, now: float) -> List[EfficiencyRow]:
+        """Efficiency table for all read levels at the current cluster state."""
+        snapshot = self.monitor.snapshot(now)
+        if self.deployment is not None and self.strict:
+            profile = snapshot.key_profile or [(1.0, 1.0, 1)]
+            stale = [
+                system_stale_rate_dc(
+                    self.deployment, snapshot.write_rate, profile, r
+                )
+                for r in range(1, self.rf + 1)
+            ]
+            costs = [
+                est.total_per_op
+                for est in self.cost_estimator.estimate_all(
+                    snapshot, self._write_level, self.read_repair_chance
+                )
+            ]
+            return rank_levels(stale, costs)
+        params = params_from_snapshot(
+            snapshot,
+            write_level=self._write_level,
+            fallback_rf=self.rf,
+            fallback_window=self.fallback_window,
+            strict=self.strict,
+        )
+        if params.rf != self.rf:
+            windows = list(params.windows)
+            pad = max(windows) if windows else self.fallback_window
+            while len(windows) < self.rf:
+                windows.append(pad)
+            params.windows = windows[: self.rf]
+            params.rf = self.rf
+        stale = [
+            system_stale_rate(params, r, self._write_level)
+            for r in range(1, self.rf + 1)
+        ]
+        costs = [
+            est.total_per_op
+            for est in self.cost_estimator.estimate_all(
+                snapshot, self._write_level, self.read_repair_chance
+            )
+        ]
+        return rank_levels(stale, costs)
+
+    def _refresh(self, now: float) -> None:
+        self._last_update = now
+        rows = self.evaluate_levels(now)
+        candidates = rows
+        if self.stale_cap is not None:
+            capped = [r for r in rows if r.stale_rate <= self.stale_cap]
+            if capped:
+                candidates = capped
+        self._current = candidates[0].read_level
+        self.decisions.append(BismarDecision(t=now, read_level=self._current, rows=rows))
+
+    def level_time_fractions(self) -> dict:
+        """Fraction of decisions at each level (post-run report)."""
+        if not self.decisions:
+            return {}
+        counts: dict = {}
+        for d in self.decisions:
+            counts[d.read_level] = counts.get(d.read_level, 0) + 1
+        total = len(self.decisions)
+        return {lvl: c / total for lvl, c in sorted(counts.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BismarEngine(rf={self.rf}, current={self._current}, "
+            f"decisions={len(self.decisions)})"
+        )

@@ -1,0 +1,139 @@
+"""Command-line entry points: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli e1-g5k [--ops 24000] [--seed 11]
+    python -m repro.cli e2-cost
+    python -m repro.cli e4-bismar --ops 40000
+    python -m repro.cli fig1
+    python -m repro.cli e5-behavior
+
+Each command builds the matching platform preset, runs the experiment
+harness, and prints the same table the paper's evaluation reports (plus the
+measured claim lines). This is the no-pytest path to the results; the
+benchmark suite wraps the same functions with assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _e1_g5k(args) -> None:
+    from repro.experiments.harmony_eval import run_harmony_eval
+    from repro.experiments.platforms import grid5000_harmony_platform
+
+    res = run_harmony_eval(
+        grid5000_harmony_platform(), tolerances=(0.2, 0.4), ops=args.ops, seed=args.seed
+    )
+    print(res.table())
+    for claim in res.claims():
+        print(" ", claim)
+
+
+def _e1_ec2(args) -> None:
+    from repro.experiments.harmony_eval import run_harmony_eval
+    from repro.experiments.platforms import ec2_harmony_platform
+    from repro.workload.workloads import heavy_read_update
+
+    res = run_harmony_eval(
+        ec2_harmony_platform(),
+        tolerances=(0.4, 0.6),
+        spec=heavy_read_update(record_count=200),
+        ops=args.ops,
+        seed=args.seed,
+    )
+    print(res.table())
+    for claim in res.claims():
+        print(" ", claim)
+
+
+def _e2_cost(args) -> None:
+    from repro.experiments.cost_eval import run_cost_eval
+    from repro.experiments.platforms import ec2_cost_platform
+
+    res = run_cost_eval(ec2_cost_platform(), ops=args.ops, seed=args.seed)
+    print(res.table())
+    for claim in res.claims():
+        print(" ", claim)
+
+
+def _e3_efficiency(args) -> None:
+    from repro.experiments.bismar_eval import efficiency_table, run_efficiency_samples
+    from repro.experiments.platforms import grid5000_bismar_platform
+
+    samples = run_efficiency_samples(
+        grid5000_bismar_platform(), ops=args.ops, seed=args.seed
+    )
+    print(efficiency_table(samples))
+
+
+def _e4_bismar(args) -> None:
+    from repro.experiments.bismar_eval import run_bismar_eval
+    from repro.experiments.platforms import grid5000_bismar_platform
+
+    res = run_bismar_eval(grid5000_bismar_platform(), ops=args.ops, seed=args.seed)
+    print(res.table())
+    for claim in res.claims():
+        print(" ", claim)
+
+
+def _fig1(args) -> None:
+    from repro.experiments.model_eval import fig1_table, run_fig1_validation
+    from repro.experiments.platforms import grid5000_harmony_platform
+
+    rows = run_fig1_validation(grid5000_harmony_platform(), seed=args.seed)
+    print(fig1_table(rows))
+
+
+def _e5_behavior(args) -> None:
+    from repro.experiments.model_eval import run_behavior_eval
+    from repro.experiments.platforms import ec2_harmony_platform
+
+    res = run_behavior_eval(ec2_harmony_platform(), seed=args.seed)
+    print(res.table())
+
+
+COMMANDS: Dict[str, Callable] = {
+    "e1-g5k": _e1_g5k,
+    "e1-ec2": _e1_ec2,
+    "e2-cost": _e2_cost,
+    "e3-efficiency": _e3_efficiency,
+    "e4-bismar": _e4_bismar,
+    "e5-behavior": _e5_behavior,
+    "fig1": _fig1,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Self-Adaptive Cost-Efficient "
+        "Consistency Management in the Cloud' (IPDPS 2013 PhD Forum).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    for name in COMMANDS:
+        p = sub.add_parser(name, help=f"run experiment {name}")
+        p.add_argument("--ops", type=int, default=None, help="operation count")
+        p.add_argument("--seed", type=int, default=11, help="root seed")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in COMMANDS:
+            print(name)
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

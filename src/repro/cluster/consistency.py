@@ -1,0 +1,187 @@
+"""Consistency levels and acknowledgement requirements.
+
+Cassandra's tunable consistency is the knob every contribution of the paper
+turns, so this module is deliberately explicit:
+
+- :class:`ConsistencyLevel` mirrors Cassandra's client levels
+  (ONE/TWO/THREE/QUORUM/LOCAL_QUORUM/EACH_QUORUM/ALL);
+- Harmony additionally dials *numeric* levels (any replica count in
+  ``1..RF``), so every API accepts ``int | ConsistencyLevel`` and the
+  normalizer :func:`resolve_level` turns either into a concrete
+  :class:`Requirement`;
+- :class:`Requirement` states how many acknowledgements are needed in total
+  and, for the datacenter-aware levels, per datacenter.
+
+The quorum-intersection rule lives here too (:func:`quorum_intersects`):
+a (read-level, write-level) pair is *structurally fresh* when
+``r + w > RF`` -- the analytical model and the store tests both rely on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+from repro.common.errors import ConfigError, ConsistencyError
+
+__all__ = [
+    "ConsistencyLevel",
+    "Requirement",
+    "resolve_level",
+    "quorum",
+    "quorum_intersects",
+    "LevelSpec",
+]
+
+
+class ConsistencyLevel(enum.Enum):
+    """Cassandra-style symbolic consistency levels."""
+
+    ONE = "ONE"
+    TWO = "TWO"
+    THREE = "THREE"
+    QUORUM = "QUORUM"
+    LOCAL_QUORUM = "LOCAL_QUORUM"
+    EACH_QUORUM = "EACH_QUORUM"
+    ALL = "ALL"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Public alias for the union accepted by every consistency-level parameter.
+LevelSpec = Union[ConsistencyLevel, int]
+
+
+def quorum(n: int) -> int:
+    """Majority of ``n``: ``floor(n/2) + 1``."""
+    return n // 2 + 1
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """Concrete acknowledgement requirement for one operation.
+
+    Attributes
+    ----------
+    total:
+        Acknowledgements needed overall.
+    per_dc:
+        For datacenter-aware levels, acknowledgements needed from each
+        datacenter index (empty for plain count-based levels).
+    label:
+        Human-readable origin ("QUORUM", "n=3", ...) for reports.
+    """
+
+    total: int
+    per_dc: Mapping[int, int] = field(default_factory=dict)
+    label: str = ""
+
+    def satisfied(self, acks_total: int, acks_by_dc: Mapping[int, int]) -> bool:
+        """Whether the received acknowledgements meet this requirement."""
+        if acks_total < self.total:
+            return False
+        for dc, need in self.per_dc.items():
+            if acks_by_dc.get(dc, 0) < need:
+                return False
+        return True
+
+    def feasible(self, alive_total: int, alive_by_dc: Mapping[int, int]) -> bool:
+        """Whether enough replicas are alive for the requirement to ever be met."""
+        if alive_total < self.total:
+            return False
+        for dc, need in self.per_dc.items():
+            if alive_by_dc.get(dc, 0) < need:
+                return False
+        return True
+
+
+def resolve_level(
+    level: LevelSpec,
+    rf_total: int,
+    replicas_by_dc: Optional[Mapping[int, int]] = None,
+    coordinator_dc: Optional[int] = None,
+) -> Requirement:
+    """Normalize a symbolic or numeric level into a :class:`Requirement`.
+
+    Parameters
+    ----------
+    level:
+        A :class:`ConsistencyLevel` or an integer replica count in
+        ``1..rf_total`` (Harmony's numeric dial).
+    rf_total:
+        Total number of replicas of the key.
+    replicas_by_dc:
+        Replica count per datacenter index; required for LOCAL_QUORUM /
+        EACH_QUORUM.
+    coordinator_dc:
+        Datacenter of the coordinating node; required for LOCAL_QUORUM.
+
+    Raises
+    ------
+    ConsistencyError
+        If the level structurally exceeds the replication factor.
+    """
+    if rf_total < 1:
+        raise ConfigError(f"replication factor must be >= 1, got {rf_total}")
+
+    if isinstance(level, (int,)) and not isinstance(level, bool):
+        n = int(level)
+        if not (1 <= n <= rf_total):
+            raise ConsistencyError(
+                f"numeric consistency level {n} outside 1..{rf_total}"
+            )
+        return Requirement(total=n, label=f"n={n}")
+
+    if not isinstance(level, ConsistencyLevel):
+        raise ConfigError(
+            f"consistency level must be int or ConsistencyLevel, got {level!r}"
+        )
+
+    if level in (ConsistencyLevel.ONE, ConsistencyLevel.TWO, ConsistencyLevel.THREE):
+        n = {"ONE": 1, "TWO": 2, "THREE": 3}[level.value]
+        if n > rf_total:
+            raise ConsistencyError(f"{level} requires {n} replicas, RF={rf_total}")
+        return Requirement(total=n, label=level.value)
+
+    if level is ConsistencyLevel.QUORUM:
+        return Requirement(total=quorum(rf_total), label="QUORUM")
+
+    if level is ConsistencyLevel.ALL:
+        return Requirement(total=rf_total, label="ALL")
+
+    if level is ConsistencyLevel.LOCAL_QUORUM:
+        if replicas_by_dc is None or coordinator_dc is None:
+            raise ConfigError("LOCAL_QUORUM needs replicas_by_dc and coordinator_dc")
+        local = replicas_by_dc.get(coordinator_dc, 0)
+        if local == 0:
+            raise ConsistencyError(
+                f"LOCAL_QUORUM: no replicas in coordinator DC {coordinator_dc}"
+            )
+        need = quorum(local)
+        return Requirement(
+            total=need, per_dc={coordinator_dc: need}, label="LOCAL_QUORUM"
+        )
+
+    if level is ConsistencyLevel.EACH_QUORUM:
+        if replicas_by_dc is None:
+            raise ConfigError("EACH_QUORUM needs replicas_by_dc")
+        per_dc: Dict[int, int] = {
+            dc: quorum(count) for dc, count in replicas_by_dc.items() if count > 0
+        }
+        return Requirement(
+            total=sum(per_dc.values()), per_dc=per_dc, label="EACH_QUORUM"
+        )
+
+    raise ConfigError(f"unhandled consistency level {level!r}")  # pragma: no cover
+
+
+def quorum_intersects(read_n: int, write_n: int, rf_total: int) -> bool:
+    """Whether every read replica-set must overlap every write replica-set.
+
+    ``r + w > RF`` guarantees the read sees the newest acknowledged write --
+    the structural-freshness rule used by the staleness model and verified
+    against the simulator oracle in the tests.
+    """
+    return read_n + write_n > rf_total

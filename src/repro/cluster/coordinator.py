@@ -1,0 +1,444 @@
+"""Request coordination: the replica fan-out state machines.
+
+One :class:`Coordinator` per node. The two operation state machines follow
+Cassandra's data path:
+
+**Write** -- the mutation is sent to *every* live replica immediately
+(propagation always happens; that is what eventually-consistent means), but
+the client acknowledgement fires as soon as the consistency level's
+requirement is met. The window between those two moments is exactly the
+staleness window of Figure 1: level ONE acknowledges after the first replica
+(short ``T``), level ALL after the last (no window at all).
+
+**Read** -- the coordinator contacts exactly the level's replica count
+(snitch-ordered: local datacenter first), waits for all of them, and returns
+the newest version seen. Optionally a read-repair pass contacts the
+remaining replicas in the background and patches stale ones.
+
+Operation objects use ``__slots__`` and plain callbacks -- these are the two
+hottest allocation sites of the whole simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import UnavailableError
+from repro.cluster.consistency import LevelSpec, Requirement, resolve_level
+from repro.cluster.node import StorageNode
+from repro.cluster.staleness import StalenessOracle
+from repro.cluster.versions import Version
+from repro.net.transport import Network
+
+__all__ = ["OpResult", "Coordinator", "MessageSizes"]
+
+
+class MessageSizes:
+    """Wire sizes (bytes) of the protocol messages, used for traffic billing.
+
+    Defaults approximate Cassandra's binary protocol around small YCSB rows:
+    a mutation carries the row, a data response carries the row, digests and
+    acks are small fixed-size frames.
+    """
+
+    __slots__ = ("request_overhead", "ack", "digest", "hint_overhead")
+
+    def __init__(
+        self,
+        request_overhead: int = 100,
+        ack: int = 60,
+        digest: int = 80,
+        hint_overhead: int = 120,
+    ):
+        self.request_overhead = int(request_overhead)
+        self.ack = int(ack)
+        self.digest = int(digest)
+        self.hint_overhead = int(hint_overhead)
+
+
+class OpResult:
+    """Outcome of one client operation, delivered to the client callback."""
+
+    __slots__ = (
+        "kind",
+        "key",
+        "t_start",
+        "t_end",
+        "ok",
+        "error",
+        "stale",
+        "level_label",
+        "replicas_contacted",
+        "ack_delays",
+        "value_size",
+    )
+
+    def __init__(self, kind: str, key: str, t_start: float, level_label: str):
+        self.kind = kind
+        self.key = key
+        self.t_start = t_start
+        self.t_end = t_start
+        self.ok = False
+        self.error: Optional[str] = None
+        self.stale: Optional[bool] = None
+        self.level_label = level_label
+        self.replicas_contacted = 0
+        #: per-replica acknowledgement delays observed by the coordinator
+        #: (writes only) -- the monitor's observable proxy for propagation time.
+        self.ack_delays: Optional[List[float]] = None
+        self.value_size = 0
+
+    @property
+    def latency(self) -> float:
+        """Client-visible latency in seconds."""
+        return self.t_end - self.t_start
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "ok" if self.ok else f"failed({self.error})"
+        extra = f", stale={self.stale}" if self.kind == "read" else ""
+        return (
+            f"OpResult({self.kind} {self.key!r} @{self.level_label}, "
+            f"{status}, {self.latency * 1e3:.3f}ms{extra})"
+        )
+
+
+class _WriteOp:
+    """In-flight write state."""
+
+    __slots__ = (
+        "coord",
+        "result",
+        "requirement",
+        "version",
+        "acks_total",
+        "acks_by_dc",
+        "done_cb",
+        "finished",
+        "timeout_event",
+    )
+
+    def __init__(self, coord, result, requirement, version, done_cb):
+        self.coord = coord
+        self.result = result
+        self.requirement = requirement
+        self.version = version
+        self.acks_total = 0
+        self.acks_by_dc: Dict[int, int] = {}
+        self.done_cb = done_cb
+        self.finished = False
+        self.timeout_event = None
+
+
+class _ReadOp:
+    """In-flight read state."""
+
+    __slots__ = (
+        "coord",
+        "result",
+        "expected",
+        "pending",
+        "fg_pending",
+        "best",
+        "responses",
+        "done_cb",
+        "finished",
+        "timeout_event",
+        "repair_targets",
+    )
+
+    def __init__(self, coord, result, expected, pending, done_cb):
+        self.coord = coord
+        self.result = result
+        self.expected = expected
+        self.pending = pending
+        self.fg_pending = pending
+        self.best: Optional[Version] = None
+        self.responses: List[tuple] = []  # (node_id, version) for read repair
+        self.done_cb = done_cb
+        self.finished = False
+        self.timeout_event = None
+        self.repair_targets: List[int] = []
+
+
+class Coordinator:
+    """Per-node request coordinator.
+
+    Constructed by :class:`~repro.cluster.store.ReplicatedStore`; not
+    intended for standalone use (it needs the store's shared ring, strategy,
+    network, nodes and oracle).
+    """
+
+    __slots__ = ("store", "node_id", "dc")
+
+    def __init__(self, store, node_id: int):
+        self.store = store
+        self.node_id = int(node_id)
+        self.dc = store.topology.dc_of(node_id)
+
+    # ------------------------------------------------------------------ write
+
+    def write(
+        self,
+        key: str,
+        level: LevelSpec,
+        value_size: int,
+        done: Callable[[OpResult], Any],
+    ) -> None:
+        """Coordinate one write; ``done(result)`` fires on ack or failure."""
+        st = self.store
+        sim = st.sim
+        replicas = st.strategy.replicas(key, st.ring, st.topology)
+        requirement = resolve_level(
+            level,
+            st.strategy.rf_total,
+            st.strategy.replicas_by_dc(key, st.ring, st.topology),
+            self.dc,
+        )
+        result = OpResult("write", key, sim.now, requirement.label)
+        result.value_size = value_size
+        result.ack_delays = []
+
+        alive = [r for r in replicas if st.nodes[r].up]
+        alive_by_dc: Dict[int, int] = {}
+        for r in alive:
+            dc = st.topology.dc_of(r)
+            alive_by_dc[dc] = alive_by_dc.get(dc, 0) + 1
+        if not requirement.feasible(len(alive), alive_by_dc):
+            result.t_end = sim.now
+            result.error = "unavailable"
+            st._count_failure("write", "unavailable")
+            done(result)
+            return
+
+        st.write_seq += 1
+        version = Version(sim.now, st.write_seq, value_size)
+        st.oracle.note_write_start(key, version, n_replicas=len(alive))
+
+        op = _WriteOp(self, result, requirement, version, done)
+        result.replicas_contacted = len(alive)
+        msg = st.sizes.request_overhead + value_size
+
+        for r in replicas:
+            node = st.nodes[r]
+            if node.up:
+                st.network.send(
+                    self.node_id, r, msg, node.handle_write, key, version,
+                    self._make_write_applied(op),
+                )
+            elif st.hints is not None:
+                st.hints.add(r, key, version)
+
+        if st.write_timeout > 0:
+            op.timeout_event = sim.schedule(
+                st.write_timeout, self._write_timeout, op
+            )
+
+    def _make_write_applied(self, op: _WriteOp):
+        """Replica-side completion: record propagation, send the ack home."""
+        st = self.store
+
+        def applied(node_id: int, key: str, version: Version) -> None:
+            st.oracle.note_replica_applied(version, st.sim.now)
+            st.network.send(
+                node_id, self.node_id, st.sizes.ack, self._on_write_ack, op, node_id
+            )
+
+        return applied
+
+    def _on_write_ack(self, op: _WriteOp, replica_id: int) -> None:
+        st = self.store
+        op.acks_total += 1
+        dc = st.topology.dc_of(replica_id)
+        op.acks_by_dc[dc] = op.acks_by_dc.get(dc, 0) + 1
+        if op.result.ack_delays is not None:
+            op.result.ack_delays.append(st.sim.now - op.result.t_start)
+        if op.acks_total == op.result.replicas_contacted:
+            # Every live replica has acknowledged: the write is fully
+            # propagated as far as the coordinator can observe. This is the
+            # monitor's (observable) proxy for the paper's Tp.
+            st._notify_propagated(op.result)
+        if not op.finished and op.requirement.satisfied(op.acks_total, op.acks_by_dc):
+            op.finished = True
+            if op.timeout_event is not None:
+                op.timeout_event.cancel()
+            st.oracle.note_write_acked(op.result.key, op.version)
+            op.result.t_end = st.sim.now
+            op.result.ok = True
+            op.done_cb(op.result)
+
+    def _write_timeout(self, op: _WriteOp) -> None:
+        if op.finished:
+            return
+        op.finished = True
+        op.result.t_end = self.store.sim.now
+        op.result.error = "timeout"
+        self.store._count_failure("write", "timeout")
+        op.done_cb(op.result)
+
+    # ------------------------------------------------------------------ read
+
+    def read(
+        self,
+        key: str,
+        level: LevelSpec,
+        done: Callable[[OpResult], Any],
+    ) -> None:
+        """Coordinate one read; ``done(result)`` fires with the merged version."""
+        st = self.store
+        sim = st.sim
+        replicas = st.strategy.replicas(key, st.ring, st.topology)
+        requirement = resolve_level(
+            level,
+            st.strategy.rf_total,
+            st.strategy.replicas_by_dc(key, st.ring, st.topology),
+            self.dc,
+        )
+        result = OpResult("read", key, sim.now, requirement.label)
+
+        targets = self._select_read_targets(replicas, requirement)
+        if targets is None:
+            result.t_end = sim.now
+            result.error = "unavailable"
+            st._count_failure("read", "unavailable")
+            done(result)
+            return
+
+        expected = st.oracle.expected_version(key)
+        op = _ReadOp(self, result, expected, len(targets), done)
+        result.replicas_contacted = len(targets)
+
+        do_repair = (
+            st.read_repair_chance > 0.0
+            and st.rng.random() < st.read_repair_chance
+        )
+        if do_repair:
+            op.repair_targets = [
+                r for r in replicas if r not in targets and st.nodes[r].up
+            ]
+            op.pending += len(op.repair_targets)
+
+        req_size = st.sizes.request_overhead
+        for i, r in enumerate(targets):
+            node = st.nodes[r]
+            # first target returns full data, the rest return digests
+            resp = st.default_value_size if i == 0 else st.sizes.digest
+            st.network.send(
+                self.node_id, r, req_size, node.handle_read, key,
+                self._make_read_response(op, resp, foreground=True),
+            )
+        for r in op.repair_targets:
+            node = st.nodes[r]
+            st.network.send(
+                self.node_id, r, req_size, node.handle_read, key,
+                self._make_read_response(op, st.sizes.digest, foreground=False),
+            )
+
+        if st.read_timeout > 0:
+            op.timeout_event = sim.schedule(st.read_timeout, self._read_timeout, op)
+
+    def _select_read_targets(
+        self, replicas: Sequence[int], requirement: Requirement
+    ) -> Optional[List[int]]:
+        """Snitch-ordered target choice: local DC first, then the rest.
+
+        Honors per-DC requirements (LOCAL_QUORUM / EACH_QUORUM). Returns
+        ``None`` when not enough live replicas exist.
+        """
+        st = self.store
+        alive = [r for r in replicas if st.nodes[r].up]
+        chosen: List[int] = []
+        if requirement.per_dc:
+            by_dc: Dict[int, List[int]] = {}
+            for r in alive:
+                by_dc.setdefault(st.topology.dc_of(r), []).append(r)
+            for dc, need in requirement.per_dc.items():
+                pool = by_dc.get(dc, [])
+                if len(pool) < need:
+                    return None
+                chosen.extend(pool[:need])
+        remaining = [r for r in alive if r not in chosen]
+        remaining.sort(key=lambda r: (st.topology.dc_of(r) != self.dc, r))
+        while len(chosen) < requirement.total and remaining:
+            chosen.append(remaining.pop(0))
+        if len(chosen) < requirement.total:
+            return None
+        return chosen
+
+    def _make_read_response(self, op: _ReadOp, resp_bytes: int, foreground: bool):
+        st = self.store
+
+        def served(node_id: int, key: str, version: Optional[Version]) -> None:
+            st.network.send(
+                node_id, self.node_id, resp_bytes,
+                self._on_read_response, op, node_id, key, version, foreground,
+            )
+
+        return served
+
+    def _on_read_response(
+        self,
+        op: _ReadOp,
+        node_id: int,
+        key: str,
+        version: Optional[Version],
+        foreground: bool,
+    ) -> None:
+        st = self.store
+        op.pending -= 1
+        if foreground:
+            op.fg_pending -= 1
+        op.responses.append((node_id, version))
+        if version is not None and (op.best is None or version.newer_than(op.best)):
+            op.best = version
+
+        # The client answer waits only for the foreground targets.
+        if not op.finished and op.fg_pending <= 0:
+            op.finished = True
+            if op.timeout_event is not None:
+                op.timeout_event.cancel()
+            op.result.t_end = st.sim.now
+            op.result.ok = True
+            op.result.value_size = op.best.size if op.best is not None else 0
+            op.result.stale = st.oracle.note_read(op.expected, op.best)
+            op.done_cb(op.result)
+
+        if op.pending <= 0 and op.repair_targets:
+            self._issue_read_repair(op, key)
+
+    def _issue_read_repair(self, op: _ReadOp, key: str) -> None:
+        """Write the freshest seen version back to any replica that lagged."""
+        st = self.store
+        best = op.best
+        if best is None:
+            return
+        for node_id, version in op.responses:
+            lagging = version is None or best.newer_than(version)
+            if lagging:
+                node = st.nodes[node_id]
+                if not node.up:
+                    continue
+                st.repairs_issued += 1
+                st.network.send(
+                    self.node_id,
+                    node_id,
+                    st.sizes.request_overhead + best.size,
+                    node.handle_write,
+                    key,
+                    best,
+                    _ignore_apply,
+                )
+
+    def _read_timeout(self, op: _ReadOp) -> None:
+        if op.finished:
+            return
+        op.finished = True
+        op.result.t_end = self.store.sim.now
+        op.result.error = "timeout"
+        self.store._count_failure("read", "timeout")
+        op.done_cb(op.result)
+
+
+def _ignore_apply(node_id: int, key: str, version: Version) -> None:
+    """No-op apply callback for repair writes (no ack needed)."""

@@ -1,0 +1,130 @@
+"""Replica placement strategies.
+
+Given a key's clockwise node walk (from :class:`~repro.cluster.ring.TokenRing`)
+and the topology, a strategy picks the replica set:
+
+- :class:`SimpleStrategy` -- first ``rf`` distinct nodes clockwise,
+  topology-blind (Cassandra's SimpleStrategy);
+- :class:`NetworkTopologyStrategy` -- a per-datacenter replica count,
+  walking the ring and taking nodes from each datacenter until its quota is
+  filled (the placement the paper's two-AZ / two-site deployments use).
+
+Placement results are cached per key because the ring and topology are
+immutable for the lifetime of a simulated deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.common.errors import ConfigError, ConsistencyError
+from repro.cluster.ring import TokenRing
+from repro.net.topology import Topology
+
+__all__ = ["ReplicationStrategy", "SimpleStrategy", "NetworkTopologyStrategy"]
+
+
+class ReplicationStrategy:
+    """Abstract replica-placement policy."""
+
+    #: Total replication factor (set by subclasses).
+    rf_total: int
+
+    def replicas(self, key: str, ring: TokenRing, topology: Topology) -> List[int]:
+        """Ordered replica node ids for ``key`` (primary first)."""
+        raise NotImplementedError
+
+    def replicas_by_dc(
+        self, key: str, ring: TokenRing, topology: Topology
+    ) -> Dict[int, int]:
+        """Replica count per datacenter index for ``key``."""
+        counts: Dict[int, int] = {}
+        for node in self.replicas(key, ring, topology):
+            dc = topology.dc_of(node)
+            counts[dc] = counts.get(dc, 0) + 1
+        return counts
+
+
+class SimpleStrategy(ReplicationStrategy):
+    """First ``rf`` distinct nodes clockwise from the key's token."""
+
+    def __init__(self, rf: int):
+        if rf < 1:
+            raise ConfigError(f"replication factor must be >= 1, got {rf}")
+        self.rf_total = int(rf)
+        self._cache: Dict[str, List[int]] = {}
+
+    def replicas(self, key: str, ring: TokenRing, topology: Topology) -> List[int]:
+        got = self._cache.get(key)
+        if got is not None:
+            return got
+        if self.rf_total > ring.n_nodes:
+            raise ConsistencyError(
+                f"RF={self.rf_total} exceeds cluster size {ring.n_nodes}"
+            )
+        out: List[int] = []
+        for node in ring.walk_key(key):
+            out.append(node)
+            if len(out) == self.rf_total:
+                break
+        self._cache[key] = out
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimpleStrategy(rf={self.rf_total})"
+
+
+class NetworkTopologyStrategy(ReplicationStrategy):
+    """Per-datacenter replica counts (Cassandra's NetworkTopologyStrategy).
+
+    Parameters
+    ----------
+    rf_per_dc:
+        Mapping from datacenter *index* to its replica count, e.g.
+        ``{0: 3, 1: 2}`` for the paper's RF=5 across two availability zones.
+    """
+
+    def __init__(self, rf_per_dc: Mapping[int, int]):
+        if not rf_per_dc:
+            raise ConfigError("rf_per_dc must not be empty")
+        if any(v < 0 for v in rf_per_dc.values()):
+            raise ConfigError(f"negative replica count in {dict(rf_per_dc)}")
+        self.rf_per_dc: Dict[int, int] = {
+            int(dc): int(n) for dc, n in rf_per_dc.items() if n > 0
+        }
+        if not self.rf_per_dc:
+            raise ConfigError("all datacenter replica counts are zero")
+        self.rf_total = sum(self.rf_per_dc.values())
+        self._cache: Dict[str, List[int]] = {}
+
+    def replicas(self, key: str, ring: TokenRing, topology: Topology) -> List[int]:
+        got = self._cache.get(key)
+        if got is not None:
+            return got
+        for dc, need in self.rf_per_dc.items():
+            if dc >= len(topology.datacenters):
+                raise ConfigError(f"rf_per_dc references unknown datacenter {dc}")
+            if need > topology.nodes_per_dc[dc]:
+                raise ConsistencyError(
+                    f"DC {dc} has {topology.nodes_per_dc[dc]} nodes, "
+                    f"cannot hold {need} replicas"
+                )
+        remaining = dict(self.rf_per_dc)
+        out: List[int] = []
+        for node in ring.walk_key(key):
+            dc = topology.dc_of(node)
+            need = remaining.get(dc, 0)
+            if need > 0:
+                out.append(node)
+                remaining[dc] = need - 1
+                if all(v == 0 for v in remaining.values()):
+                    break
+        if len(out) != self.rf_total:  # pragma: no cover - guarded by checks above
+            raise ConsistencyError(
+                f"could only place {len(out)}/{self.rf_total} replicas for {key!r}"
+            )
+        self._cache[key] = out
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkTopologyStrategy({self.rf_per_dc})"

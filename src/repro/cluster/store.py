@@ -1,0 +1,371 @@
+"""The client-facing replicated store facade.
+
+:class:`ReplicatedStore` wires together the simulator, topology, network,
+ring, replication strategy, nodes, coordinators, oracle and hint store, and
+exposes the two operations clients issue:
+
+    store.read(key, level, callback)
+    store.write(key, level, callback, value_size=...)
+
+Consistency ``level`` is per-operation (``int`` 1..RF or
+:class:`~repro.cluster.consistency.ConsistencyLevel`) -- the property that
+makes runtime-adaptive policies like Harmony possible at all.
+
+The store also hosts the metric surfaces everything else consumes:
+latency histograms, op/failure counters, the staleness oracle, the network
+traffic matrix, and a listener interface for monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngFactory
+from repro.common.stats import Histogram
+from repro.cluster.consistency import LevelSpec
+from repro.cluster.coordinator import Coordinator, MessageSizes, OpResult
+from repro.cluster.hints import HintStore
+from repro.cluster.node import ServiceModel, StorageNode
+from repro.cluster.replication import ReplicationStrategy, SimpleStrategy
+from repro.cluster.ring import TokenRing
+from repro.cluster.staleness import StalenessOracle
+from repro.cluster.versions import Version
+from repro.net.topology import Topology
+from repro.net.transport import Network
+from repro.simcore.simulator import Simulator
+
+__all__ = ["StoreConfig", "ReplicatedStore"]
+
+
+@dataclass
+class StoreConfig:
+    """Tunables of a simulated deployment.
+
+    Attributes
+    ----------
+    vnodes:
+        Virtual nodes per physical node on the token ring.
+    servers_per_node:
+        Request-handler parallelism per node.
+    default_value_size:
+        Row size in bytes (YCSB default rows are 10 x 100 B fields ~= 1 KB).
+    read_repair_chance:
+        Probability a read triggers a background repair pass to the replicas
+        it did not contact (Cassandra's ``read_repair_chance``).
+    read_timeout / write_timeout:
+        Coordinator timeouts in seconds (0 disables).
+    hinted_handoff:
+        Whether writes to down replicas are buffered and replayed.
+    seed:
+        Root seed for all randomness in the deployment.
+    """
+
+    vnodes: int = 16
+    servers_per_node: int = 4
+    #: mutation-stage parallelism; ``None`` = same as ``servers_per_node``.
+    mutation_servers_per_node: Optional[int] = None
+    default_value_size: int = 1000
+    read_repair_chance: float = 0.1
+    read_timeout: float = 5.0
+    write_timeout: float = 5.0
+    hinted_handoff: bool = True
+    seed: int = 0
+    service: ServiceModel = field(default_factory=ServiceModel)
+    sizes: MessageSizes = field(default_factory=MessageSizes)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.read_repair_chance <= 1.0):
+            raise ConfigError(
+                f"read_repair_chance must be in [0,1], got {self.read_repair_chance}"
+            )
+        if self.default_value_size <= 0:
+            raise ConfigError(
+                f"default_value_size must be positive, got {self.default_value_size}"
+            )
+
+
+class ReplicatedStore:
+    """A deployed, running, simulated geo-replicated store.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that owns the clock.
+    topology:
+        Datacenters and node placement.
+    strategy:
+        Replica placement (defaults to ``SimpleStrategy(rf=3)``).
+    config:
+        Deployment tunables.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        strategy: Optional[ReplicationStrategy] = None,
+        config: Optional[StoreConfig] = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.config = config or StoreConfig()
+        self.strategy = strategy or SimpleStrategy(rf=min(3, topology.n_nodes))
+        if self.strategy.rf_total > topology.n_nodes:
+            raise ConfigError(
+                f"RF={self.strategy.rf_total} exceeds {topology.n_nodes} nodes"
+            )
+
+        rngs = RngFactory(self.config.seed)
+        self.rng = rngs.stream("store.coordinator")
+        self.network = Network(sim, topology, rng=rngs.stream("store.network"))
+        self.ring = TokenRing(topology.n_nodes, vnodes=self.config.vnodes)
+        self.nodes: List[StorageNode] = [
+            StorageNode(
+                sim,
+                node_id=i,
+                service=self.config.service,
+                servers=self.config.servers_per_node,
+                mutation_servers=self.config.mutation_servers_per_node,
+                rng=rngs.stream(f"store.node.{i}"),
+            )
+            for i in range(topology.n_nodes)
+        ]
+        self.coordinators: List[Coordinator] = [
+            Coordinator(self, i) for i in range(topology.n_nodes)
+        ]
+        self.oracle = StalenessOracle()
+        self.hints: Optional[HintStore] = (
+            HintStore() if self.config.hinted_handoff else None
+        )
+        self.sizes = self.config.sizes
+        self.default_value_size = self.config.default_value_size
+        self.read_repair_chance = self.config.read_repair_chance
+        self.read_timeout = self.config.read_timeout
+        self.write_timeout = self.config.write_timeout
+
+        # metrics
+        self.read_latency = Histogram(lo=1e-5, hi=60.0)
+        self.write_latency = Histogram(lo=1e-5, hi=60.0)
+        self.reads_ok = 0
+        self.writes_ok = 0
+        self.failures: Dict[str, int] = {}
+        self.repairs_issued = 0
+        self.write_seq = 0
+        self._written_keys: List[str] = []
+        self._written_set: set = set()
+        self._listeners: List[Any] = []
+
+    # -- client API --------------------------------------------------------------
+
+    def write(
+        self,
+        key: str,
+        level: LevelSpec,
+        done: Optional[Callable[[OpResult], Any]] = None,
+        value_size: Optional[int] = None,
+        coordinator: Optional[int] = None,
+    ) -> None:
+        """Issue one write at ``level``; ``done(result)`` fires on completion."""
+        coord = self._pick_coordinator(coordinator)
+        size = value_size if value_size is not None else self.default_value_size
+        if coord is None:
+            self._fail_without_coordinator("write", key, done)
+            return
+        if key not in self._written_set:
+            self._written_set.add(key)
+            self._written_keys.append(key)
+        coord.write(key, level, size, self._wrap_done("write", done))
+
+    def read(
+        self,
+        key: str,
+        level: LevelSpec,
+        done: Optional[Callable[[OpResult], Any]] = None,
+        coordinator: Optional[int] = None,
+    ) -> None:
+        """Issue one read at ``level``; ``done(result)`` fires with the result."""
+        coord = self._pick_coordinator(coordinator)
+        if coord is None:
+            self._fail_without_coordinator("read", key, done)
+            return
+        coord.read(key, level, self._wrap_done("read", done))
+
+    def add_listener(self, listener: Any) -> None:
+        """Register an observer (monitors, trace recorders).
+
+        Listeners must implement ``on_op_complete(OpResult)`` and may
+        implement ``on_write_propagated(OpResult)``, which fires when the
+        *last* live replica of a write acknowledges (``result.ack_delays``
+        is complete at that point -- the observable propagation profile).
+        """
+        self._listeners.append(listener)
+
+    def _notify_propagated(self, result) -> None:
+        for listener in self._listeners:
+            hook = getattr(listener, "on_write_propagated", None)
+            if hook is not None:
+                hook(result)
+
+    # -- operational hooks ---------------------------------------------------------
+
+    def on_node_recover(self, node_id: int) -> None:
+        """Bring a node back up and replay its hints (if handoff is enabled)."""
+        node = self.nodes[node_id]
+        node.recover()
+        if self.hints is None:
+            return
+        for key, version in self.hints.drain(node_id):
+            # Replay from an arbitrary live coordinator colocated with the data.
+            src = self._any_live_node()
+            if src is None:
+                break
+            self.network.send(
+                src,
+                node_id,
+                self.sizes.hint_overhead + version.size,
+                node.handle_write,
+                key,
+                version,
+                _hint_applied,
+            )
+
+    def preload(self, keys: List[str], value_size: Optional[int] = None) -> None:
+        """Install an initial, fully consistent data set (YCSB's load phase).
+
+        Placement is direct (no simulated traffic): every replica of every
+        key receives the same version at the current clock. This is the
+        standard shortcut for the benchmark load phase -- the transaction
+        phase starts from the same state a real loaded cluster would be in,
+        without simulating millions of load-phase operations.
+        """
+        size = value_size if value_size is not None else self.default_value_size
+        t = self.sim.now
+        for key in keys:
+            self.write_seq += 1
+            version = Version(t, self.write_seq, size)
+            for r in self.strategy.replicas(key, self.ring, self.topology):
+                self.nodes[r].data[key] = version
+            self.oracle.note_preload(key, version)
+            if key not in self._written_set:
+                self._written_set.add(key)
+                self._written_keys.append(key)
+
+    def written_keys(self) -> List[str]:
+        """Keys ever written (repair daemon's candidate population)."""
+        return self._written_keys
+
+    # -- metrics -----------------------------------------------------------------
+
+    def reset_metrics(self) -> None:
+        """Zero all measurement surfaces, keeping data and cluster state.
+
+        Called at the warmup/measurement boundary of experiment runs. The
+        network traffic matrix is reset too (billing measures the
+        measurement phase only).
+        """
+        self.read_latency = Histogram(lo=1e-5, hi=60.0)
+        self.write_latency = Histogram(lo=1e-5, hi=60.0)
+        self.reads_ok = 0
+        self.writes_ok = 0
+        self.failures = {}
+        self.repairs_issued = 0
+        self.oracle.reset_counters()
+        self.network.traffic = type(self.network.traffic)()
+
+    @property
+    def stale_rate(self) -> float:
+        """Measured stale-read fraction since deployment."""
+        return self.oracle.stale_rate
+
+    def ops_completed(self) -> int:
+        """Successful reads + writes."""
+        return self.reads_ok + self.writes_ok
+
+    def failure_count(self) -> int:
+        """Total failed operations (unavailable + timeout)."""
+        return sum(self.failures.values())
+
+    def summary(self) -> Dict[str, Any]:
+        """One-shot metrics snapshot used by the experiment harness."""
+        return {
+            "reads_ok": self.reads_ok,
+            "writes_ok": self.writes_ok,
+            "failures": dict(self.failures),
+            "stale_rate": self.oracle.stale_rate,
+            "stale_reads": self.oracle.stale_reads,
+            "read_latency_mean": self.read_latency.mean,
+            "read_latency_p99": self.read_latency.percentile(99),
+            "write_latency_mean": self.write_latency.mean,
+            "write_latency_p99": self.write_latency.percentile(99),
+            "mean_propagation": self.oracle.mean_propagation_time(),
+            "billable_bytes": self.network.traffic.billable_bytes(),
+            "total_bytes": self.network.traffic.total_bytes(),
+            "repairs_issued": self.repairs_issued,
+        }
+
+    # -- internals ---------------------------------------------------------------
+
+    def _pick_coordinator(self, preferred: Optional[int]) -> Optional[Coordinator]:
+        """Pick a live coordinator; ``None`` when the whole cluster is down."""
+        if preferred is not None:
+            return self.coordinators[preferred]
+        # Random live node, as a client-side load balancer would pick.
+        for _ in range(4):
+            idx = int(self.rng.integers(0, len(self.nodes)))
+            if self.nodes[idx].up:
+                return self.coordinators[idx]
+        live = self._any_live_node()
+        if live is None:
+            return None
+        return self.coordinators[live]
+
+    def _fail_without_coordinator(self, kind, key, user_done) -> None:
+        """Total outage: fail the operation as unavailable, don't raise."""
+        result = OpResult(kind, key, self.sim.now, "n/a")
+        result.error = "unavailable"
+        self._count_failure(kind, "unavailable")
+        finish = self._wrap_done(kind, user_done)
+        finish(result)
+
+    def _any_live_node(self) -> Optional[int]:
+        for node in self.nodes:
+            if node.up:
+                return node.node_id
+        return None
+
+    def _wrap_done(
+        self, kind: str, user_done: Optional[Callable[[OpResult], Any]]
+    ) -> Callable[[OpResult], Any]:
+        def finish(result: OpResult) -> None:
+            if result.ok:
+                if kind == "read":
+                    self.reads_ok += 1
+                    self.read_latency.add(max(result.latency, 1e-9))
+                else:
+                    self.writes_ok += 1
+                    self.write_latency.add(max(result.latency, 1e-9))
+            for listener in self._listeners:
+                listener.on_op_complete(result)
+            if user_done is not None:
+                user_done(result)
+
+        return finish
+
+    def _count_failure(self, kind: str, reason: str) -> None:
+        key = f"{kind}_{reason}"
+        self.failures[key] = self.failures.get(key, 0) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicatedStore(nodes={self.topology.n_nodes}, "
+            f"rf={self.strategy.rf_total}, ops={self.ops_completed()}, "
+            f"stale_rate={self.stale_rate:.4f})"
+        )
+
+
+def _hint_applied(node_id: int, key: str, version) -> None:
+    """Hint replay needs no acknowledgement."""

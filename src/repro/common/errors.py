@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything the library may raise with a single ``except`` clause
+while still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at object-construction time so that misconfiguration is
+    reported where it is written, not where it is later exercised.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent internal state.
+
+    This always indicates a bug in the simulation harness (for example an
+    event scheduled in the past), never a modelled failure of the simulated
+    system; modelled failures surface as :class:`UnavailableError` or
+    :class:`TimeoutError_`.
+    """
+
+
+class ConsistencyError(ReproError):
+    """A consistency-level requirement could not be satisfied structurally.
+
+    For example: requesting ``ConsistencyLevel.THREE`` on a keyspace whose
+    replication factor is two.
+    """
+
+
+class UnavailableError(ReproError):
+    """Not enough live replicas to satisfy the requested consistency level.
+
+    Mirrors Cassandra's ``UnavailableException``: raised *before* any work is
+    sent to replicas, when the coordinator already knows the request cannot
+    gather the required acknowledgements.
+    """
+
+    def __init__(self, required: int, alive: int, message: str | None = None):
+        self.required = int(required)
+        self.alive = int(alive)
+        super().__init__(
+            message
+            or f"consistency requires {required} live replica(s), only {alive} alive"
+        )
+
+
+class TimeoutError_(ReproError, TimeoutError):
+    """A request did not gather the required acknowledgements in time.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`TimeoutError`; it intentionally *also* derives from the built-in
+    so generic timeout handling keeps working.
+    """
+
+    def __init__(self, required: int, received: int, message: str | None = None):
+        self.required = int(required)
+        self.received = int(received)
+        super().__init__(
+            message
+            or f"request timed out: {received}/{required} acknowledgement(s) received"
+        )

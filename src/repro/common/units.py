@@ -1,0 +1,138 @@
+"""Readable unit helpers.
+
+The simulator's base units are:
+
+- **time**: seconds (floats) on the simulated clock;
+- **data size**: bytes (ints);
+- **money**: US dollars (floats).
+
+These helpers exist so that configuration code reads as
+``latency=ms(0.5), data=GiB(23.85), price=usd_per_hour(0.32)`` instead of
+bare magic numbers, and so that report formatting is consistent.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "us",
+    "ms",
+    "seconds",
+    "minutes",
+    "hours",
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "fmt_duration",
+    "fmt_bytes",
+    "fmt_usd",
+    "fmt_rate",
+]
+
+
+# --- time -------------------------------------------------------------------
+
+def us(x: float) -> float:
+    """Microseconds -> seconds."""
+    return x * 1e-6
+
+
+def ms(x: float) -> float:
+    """Milliseconds -> seconds."""
+    return x * 1e-3
+
+
+def seconds(x: float) -> float:
+    """Identity; for symmetric call sites."""
+    return float(x)
+
+
+def minutes(x: float) -> float:
+    """Minutes -> seconds."""
+    return x * 60.0
+
+
+def hours(x: float) -> float:
+    """Hours -> seconds."""
+    return x * 3600.0
+
+
+# --- data size ---------------------------------------------------------------
+
+def KiB(x: float) -> int:
+    """Binary kilobytes -> bytes."""
+    return int(x * 1024)
+
+
+def MiB(x: float) -> int:
+    """Binary megabytes -> bytes."""
+    return int(x * 1024**2)
+
+
+def GiB(x: float) -> int:
+    """Binary gigabytes -> bytes."""
+    return int(x * 1024**3)
+
+
+def KB(x: float) -> int:
+    """Decimal kilobytes -> bytes (cloud billing uses decimal units)."""
+    return int(x * 1000)
+
+
+def MB(x: float) -> int:
+    """Decimal megabytes -> bytes."""
+    return int(x * 1000**2)
+
+
+def GB(x: float) -> int:
+    """Decimal gigabytes -> bytes."""
+    return int(x * 1000**3)
+
+
+# --- formatting ---------------------------------------------------------------
+
+def fmt_duration(sec: float) -> str:
+    """Human-readable duration: ``1.50ms``, ``2.3s``, ``4m10s``, ``2h05m``."""
+    if sec < 0:
+        return "-" + fmt_duration(-sec)
+    if sec < 1e-3:
+        return f"{sec * 1e6:.1f}us"
+    if sec < 1.0:
+        return f"{sec * 1e3:.2f}ms"
+    if sec < 60.0:
+        return f"{sec:.2f}s"
+    if sec < 3600.0:
+        m, s = divmod(sec, 60.0)
+        return f"{int(m)}m{s:04.1f}s"
+    h, rem = divmod(sec, 3600.0)
+    return f"{int(h)}h{int(rem // 60):02d}m"
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable size using decimal units (billing convention)."""
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1000.0 or unit == "TB":
+            return f"{n:.2f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_usd(x: float) -> str:
+    """Dollar amount with sensible precision for small per-run bills."""
+    if abs(x) >= 100:
+        return f"${x:,.2f}"
+    if abs(x) >= 1:
+        return f"${x:.3f}"
+    return f"${x:.5f}"
+
+
+def fmt_rate(x: float, unit: str = "ops/s") -> str:
+    """Throughput formatting: ``12.3 kops/s`` style."""
+    if abs(x) >= 1e6:
+        return f"{x / 1e6:.2f} M{unit}"
+    if abs(x) >= 1e3:
+        return f"{x / 1e3:.2f} k{unit}"
+    return f"{x:.1f} {unit}"

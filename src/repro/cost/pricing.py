@@ -1,0 +1,96 @@
+"""Cloud price books.
+
+Prices are expressed in the units the bill parts accrue in:
+
+- instances: $/VM-hour (on-demand);
+- storage: $/GB-month of provisioned data plus $/million I/O requests
+  (EBS-style -- the paper's Cassandra data dirs live on EBS volumes);
+- network: $/GB transferred, by link class (intra-DC free, inter-AZ and
+  inter-region billed -- AWS's structure then and now).
+
+``EC2_US_EAST_2013`` pins the era the paper measured (m1.large on-demand,
+us-east-1, 2012/13 list prices). ``FREE_PRIVATE_CLOUD`` zeroes everything
+except instance time valued at an electricity+amortization proxy, which is
+how we attach a cost interpretation to Grid'5000 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.net.topology import LinkClass
+
+__all__ = ["PriceBook", "EC2_US_EAST_2013", "FREE_PRIVATE_CLOUD"]
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """All unit prices the biller and estimator need.
+
+    Attributes
+    ----------
+    instance_hour:
+        $/VM-hour.
+    storage_gb_month:
+        $/GB-month of stored data (provisioned volume size).
+    storage_io_per_million:
+        $ per million storage I/O requests.
+    transfer_inter_az_gb / transfer_inter_region_gb:
+        $/GB for traffic between availability zones / between regions.
+    round_up_instance_hours:
+        Bill whole instance-hours (the 2013 AWS billing granularity) or
+        fractional time (modern per-second billing). Experiments default to
+        fractional so short simulated runs stay comparable.
+    """
+
+    instance_hour: float = 0.26
+    storage_gb_month: float = 0.10
+    storage_io_per_million: float = 0.10
+    transfer_inter_az_gb: float = 0.01
+    transfer_inter_region_gb: float = 0.12
+    round_up_instance_hours: bool = False
+
+    def __post_init__(self) -> None:
+        for name in (
+            "instance_hour",
+            "storage_gb_month",
+            "storage_io_per_million",
+            "transfer_inter_az_gb",
+            "transfer_inter_region_gb",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    def transfer_rate(self, cls: LinkClass) -> float:
+        """$/GB for a link class (LOCAL and INTRA_DC are free)."""
+        if cls is LinkClass.INTER_AZ:
+            return self.transfer_inter_az_gb
+        if cls is LinkClass.INTER_REGION:
+            return self.transfer_inter_region_gb
+        return 0.0
+
+    def instance_rate_per_second(self) -> float:
+        """$/VM-second (the fractional-billing rate)."""
+        return self.instance_hour / 3600.0
+
+
+#: The paper's billing era: m1.large on-demand in us-east-1, EBS standard
+#: volumes, 2012/13 inter-AZ and inter-region transfer list prices.
+EC2_US_EAST_2013 = PriceBook(
+    instance_hour=0.26,
+    storage_gb_month=0.10,
+    storage_io_per_million=0.10,
+    transfer_inter_az_gb=0.01,
+    transfer_inter_region_gb=0.12,
+)
+
+#: Grid'5000-style testbed: no cloud bill; machine time priced at an
+#: electricity + amortization proxy so "cost" remains a meaningful axis.
+FREE_PRIVATE_CLOUD = PriceBook(
+    instance_hour=0.04,
+    storage_gb_month=0.0,
+    storage_io_per_million=0.0,
+    transfer_inter_az_gb=0.0,
+    transfer_inter_region_gb=0.0,
+)

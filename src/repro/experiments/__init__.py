@@ -1,0 +1,51 @@
+"""Experiment harness: platform presets and per-experiment reproductions.
+
+One module per experiment family of the paper's §IV (the benchmark targets
+in ``benchmarks/`` are thin wrappers around these):
+
+- :mod:`repro.experiments.platforms` -- the two evaluation platforms as
+  simulated presets (Amazon EC2 / Grid'5000 deployments);
+- :mod:`repro.experiments.runner` -- build-deploy-run-bill plumbing and
+  policy factories;
+- :mod:`repro.experiments.harmony_eval` -- E1: performance/staleness of
+  Harmony vs static eventual/strong (§IV-A);
+- :mod:`repro.experiments.cost_eval` -- E2: consistency impact on monetary
+  cost (§IV-B, first experiment set);
+- :mod:`repro.experiments.bismar_eval` -- E3/E4: the efficiency metric
+  samples and the Bismar evaluation (§IV-B, second set);
+- :mod:`repro.experiments.model_eval` -- FIG1: staleness-model validation,
+  and E5: the behavior-modeling evaluation (the paper lists it as future
+  work; built here as the natural extension).
+"""
+
+from repro.experiments.platforms import (
+    Platform,
+    ec2_harmony_platform,
+    grid5000_harmony_platform,
+    ec2_cost_platform,
+    grid5000_bismar_platform,
+)
+from repro.experiments.runner import (
+    PolicyFactory,
+    static_factory,
+    harmony_factory,
+    bismar_factory,
+    rationing_factory,
+    rwratio_factory,
+    run_one,
+)
+
+__all__ = [
+    "Platform",
+    "ec2_harmony_platform",
+    "grid5000_harmony_platform",
+    "ec2_cost_platform",
+    "grid5000_bismar_platform",
+    "PolicyFactory",
+    "static_factory",
+    "harmony_factory",
+    "bismar_factory",
+    "rationing_factory",
+    "rwratio_factory",
+    "run_one",
+]

@@ -1,0 +1,159 @@
+"""Deploy-run-bill plumbing shared by every experiment.
+
+A *policy factory* is a callable ``(store) -> ConsistencyPolicy`` that may
+attach monitors to the store before returning the policy; :func:`run_one`
+builds the deployment from a platform preset, runs the workload with
+warmup, and returns the run report together with the measurement-phase
+bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.cluster.consistency import ConsistencyLevel, LevelSpec
+from repro.cluster.store import ReplicatedStore
+from repro.cost.billing import Bill, Biller
+from repro.cost.estimator import CostEstimator
+from repro.baselines.rationing import ConsistencyRationingPolicy
+from repro.baselines.rwratio import ReadWriteRatioPolicy
+from repro.bismar.engine import BismarEngine
+from repro.harmony.engine import HarmonyEngine
+from repro.monitor.collector import ClusterMonitor
+from repro.policy import ConsistencyPolicy, StaticPolicy
+from repro.stale.dcmodel import DeploymentInfo
+from repro.experiments.platforms import Platform
+from repro.workload.client import RunReport, WorkloadRunner
+from repro.workload.workloads import WorkloadSpec, heavy_read_update
+
+__all__ = [
+    "PolicyFactory",
+    "static_factory",
+    "harmony_factory",
+    "bismar_factory",
+    "rationing_factory",
+    "rwratio_factory",
+    "run_one",
+]
+
+#: A policy factory receives the freshly built store (so it can attach
+#: monitors/listeners) and returns the policy the clients will consult.
+PolicyFactory = Callable[[ReplicatedStore], ConsistencyPolicy]
+
+
+def static_factory(
+    read: LevelSpec, write: Optional[LevelSpec] = None, name: Optional[str] = None
+) -> PolicyFactory:
+    """Factory for a fixed level pair."""
+
+    def build(store: ReplicatedStore) -> ConsistencyPolicy:
+        return StaticPolicy(read, write, name=name)
+
+    return build
+
+
+def harmony_factory(
+    tolerance: float,
+    write_level: int = 1,
+    monitor_window: float = 2.0,
+    update_interval: float = 0.25,
+) -> PolicyFactory:
+    """Factory for a Harmony engine wired to a fresh monitor."""
+
+    def build(store: ReplicatedStore) -> ConsistencyPolicy:
+        monitor = ClusterMonitor(window=monitor_window)
+        store.add_listener(monitor)
+        return HarmonyEngine(
+            monitor,
+            tolerance=tolerance,
+            rf=store.strategy.rf_total,
+            write_level=write_level,
+            update_interval=update_interval,
+            deployment=DeploymentInfo.from_store(store),
+        )
+
+    return build
+
+
+def bismar_factory(
+    prices,
+    write_level: int = 1,
+    stale_cap: Optional[float] = None,
+    monitor_window: float = 2.0,
+    update_interval: float = 0.25,
+) -> PolicyFactory:
+    """Factory for a Bismar engine wired to a fresh monitor + cost estimator."""
+
+    def build(store: ReplicatedStore) -> ConsistencyPolicy:
+        monitor = ClusterMonitor(window=monitor_window)
+        store.add_listener(monitor)
+        estimator = CostEstimator.for_store(store, prices)
+        return BismarEngine(
+            monitor,
+            estimator,
+            rf=store.strategy.rf_total,
+            write_level=write_level,
+            stale_cap=stale_cap,
+            update_interval=update_interval,
+            read_repair_chance=store.read_repair_chance,
+            deployment=DeploymentInfo.from_store(store),
+        )
+
+    return build
+
+
+def rationing_factory(threshold: float = 0.01) -> PolicyFactory:
+    """Factory for the Kraska-style consistency-rationing baseline."""
+
+    def build(store: ReplicatedStore) -> ConsistencyPolicy:
+        monitor = ClusterMonitor(window=2.0)
+        store.add_listener(monitor)
+        return ConsistencyRationingPolicy(monitor, threshold=threshold)
+
+    return build
+
+
+def rwratio_factory(threshold: float = 4.0) -> PolicyFactory:
+    """Factory for the Wang-style read/write-ratio baseline."""
+
+    def build(store: ReplicatedStore) -> ConsistencyPolicy:
+        monitor = ClusterMonitor(window=2.0)
+        store.add_listener(monitor)
+        return ReadWriteRatioPolicy(monitor, threshold=threshold)
+
+    return build
+
+
+def run_one(
+    platform: Platform,
+    policy_factory: PolicyFactory,
+    spec: Optional[WorkloadSpec] = None,
+    ops: Optional[int] = None,
+    clients: Optional[int] = None,
+    seed: int = 11,
+    warmup_fraction: float = 0.2,
+    target_throughput: Optional[float] = None,
+) -> Tuple[RunReport, Bill]:
+    """One full experiment run on a fresh deployment.
+
+    Returns the run report and the bill covering exactly the measurement
+    phase (post-warmup).
+    """
+    sim, store = platform.build(seed=seed)
+    policy = policy_factory(store)
+    workload = spec or heavy_read_update(record_count=platform.default_record_count)
+    biller = Biller(store, platform.prices, workload.data_size_bytes())
+    runner = WorkloadRunner(
+        store,
+        workload,
+        policy=policy,
+        n_clients=clients if clients is not None else platform.default_clients,
+        ops_total=ops if ops is not None else platform.default_ops,
+        seed=seed,
+        warmup_fraction=warmup_fraction,
+        target_throughput=target_throughput,
+        biller=biller,
+    )
+    report = runner.run()
+    return report, biller.bill()

@@ -1,0 +1,17 @@
+"""Harmony: automated self-adaptive consistency (contribution A, §III-A).
+
+Harmony "monitors the storage system and data accesses in order to estimate
+the stale reads rate in the system. Accordingly, it scales up/down the
+consistency level to preserve a stale rate tolerated by the application."
+
+:class:`~repro.harmony.engine.HarmonyEngine` is a
+:class:`~repro.policy.ConsistencyPolicy`: attach its monitor to a store,
+hand the engine to the workload clients, and every read is issued at the
+smallest replica count whose *estimated* stale rate stays within the
+application's tolerance -- level ONE whenever the workload permits,
+gradually stronger only when it does not.
+"""
+
+from repro.harmony.engine import HarmonyEngine, LevelDecision
+
+__all__ = ["HarmonyEngine", "LevelDecision"]

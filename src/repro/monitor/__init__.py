@@ -1,0 +1,20 @@
+"""Harmony's monitoring module.
+
+§III-A: *"The monitoring module collects relevant metrics about data access
+in the storage system: read rates and write rates, as well as network
+latencies. These data are further fed to the adaptive consistency module."*
+
+- :class:`~repro.monitor.collector.ClusterMonitor` is that module: a store
+  listener estimating read/write arrival rates, the per-rank replica
+  acknowledgement profile (the observable propagation-time structure), and
+  the key-access frequency profile;
+- :class:`~repro.monitor.keyfreq.KeyFrequencyTracker` supplies the skew
+  correction: staleness depends on the *per-key* write rate, so the
+  aggregate write rate must be distributed over the keys the way the
+  workload actually spreads it.
+"""
+
+from repro.monitor.keyfreq import KeyFrequencyTracker
+from repro.monitor.collector import ClusterMonitor, MonitorSnapshot
+
+__all__ = ["KeyFrequencyTracker", "ClusterMonitor", "MonitorSnapshot"]

@@ -1,0 +1,178 @@
+"""Message transport: delay sampling, delivery, traffic accounting, faults.
+
+:class:`Network` is the single fabric every node and coordinator sends
+through. It does three jobs:
+
+1. **delivery** -- sample a one-way delay from the topology's latency model
+   for the link class and schedule the receive callback on the simulator;
+2. **accounting** -- count messages and bytes per link class into a
+   :class:`TrafficMatrix`; the billing model prices exactly this matrix
+   (inter-AZ / inter-region bytes are the paper's "network cost" bill part);
+3. **fault injection** -- datacenter partitions (messages silently dropped,
+   as on a real WAN cut) and additive delay (congestion episodes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import spawn_rng
+from repro.net.topology import LinkClass, Topology
+from repro.simcore.simulator import Simulator
+
+__all__ = ["TrafficMatrix", "Network"]
+
+
+class TrafficMatrix:
+    """Per-link-class message and byte counters.
+
+    The unit of account for the network part of the cloud bill. Counters are
+    cumulative; :meth:`snapshot` + :meth:`delta` support per-interval billing.
+    """
+
+    __slots__ = ("messages", "bytes")
+
+    def __init__(self) -> None:
+        self.messages: Dict[LinkClass, int] = {cls: 0 for cls in LinkClass}
+        self.bytes: Dict[LinkClass, int] = {cls: 0 for cls in LinkClass}
+
+    def record(self, cls: LinkClass, nbytes: int) -> None:
+        """Count one message of ``nbytes`` on link class ``cls``."""
+        self.messages[cls] += 1
+        self.bytes[cls] += nbytes
+
+    def total_bytes(self) -> int:
+        """All bytes across all link classes."""
+        return sum(self.bytes.values())
+
+    def billable_bytes(self) -> int:
+        """Bytes on link classes clouds charge for (inter-AZ + inter-region)."""
+        return self.bytes[LinkClass.INTER_AZ] + self.bytes[LinkClass.INTER_REGION]
+
+    def snapshot(self) -> "TrafficMatrix":
+        """Deep copy of the current counters."""
+        snap = TrafficMatrix()
+        snap.messages = dict(self.messages)
+        snap.bytes = dict(self.bytes)
+        return snap
+
+    def delta(self, earlier: "TrafficMatrix") -> "TrafficMatrix":
+        """Counters accumulated since ``earlier`` (a prior :meth:`snapshot`)."""
+        d = TrafficMatrix()
+        for cls in LinkClass:
+            d.messages[cls] = self.messages[cls] - earlier.messages[cls]
+            d.bytes[cls] = self.bytes[cls] - earlier.bytes[cls]
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{cls.value}={self.bytes[cls]}B/{self.messages[cls]}msg"
+            for cls in LinkClass
+            if self.messages[cls]
+        )
+        return f"TrafficMatrix({parts or 'empty'})"
+
+
+class Network:
+    """The message fabric between nodes.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    topology:
+        Node placement and latency models.
+    rng:
+        Seed or generator for delay sampling (deterministic by default).
+
+    Notes
+    -----
+    Delivery is fire-and-forget: :meth:`send` schedules
+    ``deliver(*args)`` after the sampled delay. Reliability is modelled at
+    this layer only through partitions; omission failures of individual
+    nodes are modelled by the cluster layer marking nodes down.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        rng: "np.random.Generator | int | None" = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.rng = spawn_rng(rng)
+        self.traffic = TrafficMatrix()
+        self.dropped: int = 0
+        self._partitioned: Set[Tuple[int, int]] = set()  # (dc_a, dc_b) ordered pairs
+        self._extra_delay: float = 0.0
+
+    # -- fault injection --------------------------------------------------------
+
+    def partition_dcs(self, dc_a: int, dc_b: int) -> None:
+        """Cut both directions between two datacenters (messages are dropped)."""
+        if dc_a == dc_b:
+            raise ConfigError("cannot partition a datacenter from itself")
+        self._partitioned.add((dc_a, dc_b))
+        self._partitioned.add((dc_b, dc_a))
+
+    def heal_partition(self, dc_a: int, dc_b: int) -> None:
+        """Restore connectivity between two datacenters."""
+        self._partitioned.discard((dc_a, dc_b))
+        self._partitioned.discard((dc_b, dc_a))
+
+    def heal_all(self) -> None:
+        """Remove every partition."""
+        self._partitioned.clear()
+
+    def set_extra_delay(self, delay: float) -> None:
+        """Add a constant delay to every non-local message (congestion)."""
+        if delay < 0:
+            raise ConfigError(f"extra delay must be >= 0, got {delay}")
+        self._extra_delay = float(delay)
+
+    def is_partitioned(self, src: int, dst: int) -> bool:
+        """Whether messages from node ``src`` to node ``dst`` are being dropped."""
+        key = (self.topology.dc_of(src), self.topology.dc_of(dst))
+        return key in self._partitioned
+
+    # -- data plane ---------------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        deliver: Callable[..., Any],
+        *args: Any,
+    ) -> Optional[float]:
+        """Send ``nbytes`` from node ``src`` to node ``dst``.
+
+        Returns the sampled one-way delay, or ``None`` if the message was
+        dropped by a partition. ``deliver(*args)`` fires at ``now + delay``.
+        Bytes are counted even for local messages (zero-priced link class).
+        """
+        cls = self.topology.link_class(src, dst)
+        if cls is not LinkClass.LOCAL and self.is_partitioned(src, dst):
+            self.dropped += 1
+            return None
+        self.traffic.record(cls, int(nbytes))
+        delay = self.topology.latency_models[cls].sample(self.rng)
+        if cls is not LinkClass.LOCAL:
+            delay += self._extra_delay
+        self.sim.schedule(delay, deliver, *args)
+        return delay
+
+    def sample_delay(self, src: int, dst: int) -> float:
+        """Sample a delay without sending (used by monitors probing RTT)."""
+        cls = self.topology.link_class(src, dst)
+        return self.topology.latency_models[cls].sample(self.rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Network(nodes={self.topology.n_nodes}, "
+            f"traffic={self.traffic.total_bytes()}B, dropped={self.dropped})"
+        )

@@ -1,0 +1,88 @@
+"""The consistency-policy protocol.
+
+A *policy* decides, per operation, which consistency level to use. It is the
+interface every contribution of the paper plugs into:
+
+- static policies (eventual ONE, QUORUM, strong ALL) -- the baselines;
+- **Harmony** -- adapts the read level to keep estimated staleness under the
+  application's tolerance (:mod:`repro.harmony`);
+- **Bismar** -- picks the level with the best consistency-cost efficiency
+  (:mod:`repro.bismar`);
+- the behavior-modeling manager -- switches between policies per detected
+  application state (:mod:`repro.behavior`);
+- related-work baselines (:mod:`repro.baselines`).
+
+Clients call :meth:`ConsistencyPolicy.read_level` / ``write_level`` before
+each operation, passing the simulated time so adaptive policies can refresh
+themselves lazily (no background thread needed inside the simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.cluster.consistency import ConsistencyLevel, LevelSpec
+
+__all__ = ["ConsistencyPolicy", "StaticPolicy", "EVENTUAL", "QUORUM", "STRONG"]
+
+
+@runtime_checkable
+class ConsistencyPolicy(Protocol):
+    """Anything that can pick per-operation consistency levels."""
+
+    def read_level(self, now: float) -> LevelSpec:
+        """Consistency level for a read issued at simulated time ``now``."""
+        ...
+
+    def write_level(self, now: float) -> LevelSpec:
+        """Consistency level for a write issued at simulated time ``now``."""
+        ...
+
+    @property
+    def name(self) -> str:
+        """Short label for reports (e.g. ``"harmony(0.05)"``)."""
+        ...
+
+
+class StaticPolicy:
+    """A fixed (read, write) level pair -- the paper's static baselines."""
+
+    def __init__(
+        self,
+        read: LevelSpec,
+        write: LevelSpec | None = None,
+        name: str | None = None,
+    ):
+        self._read = read
+        self._write = write if write is not None else read
+        self._name = name or f"static({read}/{self._write})"
+
+    def read_level(self, now: float) -> LevelSpec:
+        return self._read
+
+    def write_level(self, now: float) -> LevelSpec:
+        return self._write
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticPolicy(read={self._read}, write={self._write})"
+
+
+def EVENTUAL() -> StaticPolicy:
+    """Cassandra's weakest level: ONE/ONE (the paper's "eventual")."""
+    return StaticPolicy(ConsistencyLevel.ONE, ConsistencyLevel.ONE, name="eventual")
+
+
+def QUORUM() -> StaticPolicy:
+    """QUORUM/QUORUM: the paper's most cost-efficient static level."""
+    return StaticPolicy(
+        ConsistencyLevel.QUORUM, ConsistencyLevel.QUORUM, name="quorum"
+    )
+
+
+def STRONG() -> StaticPolicy:
+    """ALL/ALL: the paper's "strong consistency" reference point."""
+    return StaticPolicy(ConsistencyLevel.ALL, ConsistencyLevel.ALL, name="strong")

@@ -1,0 +1,54 @@
+"""Event objects for the discrete-event engine.
+
+Events are small ``__slots__`` objects ordered by ``(time, seq)``; the
+monotonically increasing sequence number makes simultaneous events fire in
+schedule order, which keeps every run bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["Event"]
+
+
+class Event:
+    """A scheduled callback, orderable by firing time.
+
+    Do not construct directly; use :meth:`repro.simcore.Simulator.schedule`.
+    Cancellation is lazy: :meth:`cancel` marks the event and the simulator
+    skips it when popped (O(1) cancel, no heap surgery).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Optional[Callable[..., Any]],
+        args: Tuple[Any, ...] = (),
+    ):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (no-op if it already fired)."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled events do not pin payloads
+        # (messages, closures) in memory until they surface from the heap.
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"Event(t={self.time:.6f}, seq={self.seq}, fn={name}, {state})"

@@ -1,0 +1,160 @@
+"""The discrete-event simulator: clock + binary-heap event queue.
+
+Design notes (hpc-parallel idioms):
+
+- the run loop is a tight ``heappop`` + call, with local-variable binding of
+  hot attributes; profiling end-to-end store runs shows >80% of wall time in
+  user callbacks, not the engine;
+- cancellation is lazy (flag + skip) so cancelling the common case -- a
+  timeout that did not fire -- costs O(1);
+- determinism: equal-time events fire in scheduling order via a sequence
+  counter; no wall-clock or entropy anywhere in the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.simcore.events import Event
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A simulated clock with an ordered callback queue.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> _ = sim.schedule(1.0, fired.append, "a")
+    >>> sim.run()
+    >>> fired
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stop_requested = False
+        self.events_processed: int = 0
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to return after the current event.
+
+        Safe to call from inside an event callback (that is its purpose:
+        "the workload is finished, stop simulating background chatter").
+        """
+        self._stop_requested = True
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` simulated seconds from now.
+
+        Returns the :class:`Event` handle (cancellable). ``delay`` must be
+        non-negative; scheduling into the past is a harness bug and raises
+        :class:`~repro.common.errors.SimulationError`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self.now}"
+            )
+        self._seq += 1
+        ev = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event. Returns ``False`` if the queue is empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            fn, args = ev.fn, ev.args
+            ev.fn = None  # break cycles; event objects may be retained by callers
+            ev.args = ()
+            self.events_processed += 1
+            fn(*args)  # type: ignore[misc]
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        When ``until`` is given and the queue drains earlier, the clock is
+        advanced to ``until`` (matching how a real system would idle).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        try:
+            heap = self._heap
+            budget = max_events if max_events is not None else -1
+            while heap and not self._stop_requested:
+                ev = heap[0]
+                if ev.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                if budget == 0:
+                    break
+                heapq.heappop(heap)
+                self.now = ev.time
+                fn, args = ev.fn, ev.args
+                ev.fn = None
+                ev.args = ()
+                self.events_processed += 1
+                fn(*args)  # type: ignore[misc]
+                if budget > 0:
+                    budget -= 1
+            if until is not None and self.now < until and not self._stop_requested:
+                self.now = until
+        finally:
+            self._running = False
+
+    # -- introspection ---------------------------------------------------------
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the next live event, or ``None`` if idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self.now = 0.0
+        self._heap.clear()
+        self._seq = 0
+        self.events_processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Simulator(now={self.now:.6f}, pending={len(self._heap)}, "
+            f"processed={self.events_processed})"
+        )

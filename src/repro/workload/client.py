@@ -1,0 +1,407 @@
+"""Workload clients and the end-to-end run orchestrator.
+
+Two client shapes, matching the two ways YCSB is run:
+
+- :class:`ClosedLoopClient` -- one outstanding operation per client; the
+  next operation is issued when the previous completes (optionally paced to
+  a per-client target rate). Throughput then *depends on latency*, which is
+  exactly how stronger consistency levels depress throughput in the paper's
+  §IV-A numbers.
+- :class:`OpenLoopSource` -- Poisson arrivals at a fixed offered rate,
+  independent of completions (used by the staleness-model validation where
+  the analytical model assumes Poisson reads/writes).
+
+:class:`WorkloadRunner` deploys N clients against a store, runs the
+simulation and returns a :class:`RunReport` with the throughput / latency /
+staleness / traffic numbers every experiment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngFactory
+from repro.cluster.coordinator import OpResult
+from repro.cluster.store import ReplicatedStore
+from repro.policy import ConsistencyPolicy, StaticPolicy
+from repro.workload.workloads import WorkloadSpec
+
+__all__ = ["ClosedLoopClient", "OpenLoopSource", "WorkloadRunner", "RunReport"]
+
+
+class _LevelUsage:
+    """Store listener counting operations per consistency-level label."""
+
+    def __init__(self) -> None:
+        self.read_levels: Dict[str, int] = {}
+        self.write_levels: Dict[str, int] = {}
+
+    def on_op_complete(self, result: OpResult) -> None:
+        table = self.read_levels if result.kind == "read" else self.write_levels
+        table[result.level_label] = table.get(result.level_label, 0) + 1
+
+
+class ClosedLoopClient:
+    """One-outstanding-op client bound to a coordinator datacenter.
+
+    Parameters
+    ----------
+    store, spec, policy:
+        The deployment, the workload mix, and the consistency policy.
+    ops:
+        Number of operations this client will issue.
+    target_rate:
+        Optional per-client pacing (ops/sec); ``None`` = as fast as
+        completions allow.
+    dc:
+        Datacenter whose nodes this client uses as coordinators (clients are
+        colocated with a datacenter, as YCSB clients are in the paper).
+    """
+
+    def __init__(
+        self,
+        store: ReplicatedStore,
+        spec: WorkloadSpec,
+        policy: ConsistencyPolicy,
+        ops: int,
+        rng: np.random.Generator,
+        target_rate: Optional[float] = None,
+        dc: Optional[int] = None,
+        on_finished=None,
+    ):
+        if ops < 0:
+            raise ConfigError(f"ops must be >= 0, got {ops}")
+        self.store = store
+        self.spec = spec
+        self.policy = policy
+        self.remaining = int(ops)
+        self.rng = rng
+        self.interval = 1.0 / target_rate if target_rate else 0.0
+        self._deadline = 0.0
+        self.chooser = spec.make_chooser(rng=rng)
+        self.inserted = 0
+        self.on_finished = on_finished
+        self.issued = 0
+        coords = (
+            store.topology.nodes_in_dc(dc) if dc is not None else None
+        )
+        self._coords = coords
+
+    def start(self) -> None:
+        """Begin issuing operations (call before ``sim.run``)."""
+        self._deadline = self.store.sim.now
+        if self.remaining == 0:
+            self._finish()
+            return
+        self.store.sim.schedule(0.0, self._issue_next)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _coordinator(self) -> Optional[int]:
+        if self._coords is None:
+            return None
+        return self._coords[int(self.rng.integers(0, len(self._coords)))]
+
+    def _issue_next(self) -> None:
+        if self.remaining <= 0:
+            self._finish()
+            return
+        self.remaining -= 1
+        self.issued += 1
+        now = self.store.sim.now
+        op = self.spec.sample_op(self.rng)
+        if op == "insert":
+            index = self.spec.record_count + self.inserted
+            self.inserted += 1
+            self.chooser.notify_insert(self.spec.record_count + self.inserted)
+        else:
+            index = self.chooser.next_index()
+        key = self.spec.key_of(index)
+
+        if op == "read":
+            self.store.read(
+                key, self.policy.read_level(now), self._op_done,
+                coordinator=self._coordinator(),
+            )
+        elif op in ("update", "insert"):
+            self.store.write(
+                key, self.policy.write_level(now), self._op_done,
+                value_size=self.spec.value_size,
+                coordinator=self._coordinator(),
+            )
+        else:  # rmw: read, then write the same key
+            self.store.read(
+                key, self.policy.read_level(now), self._rmw_read_done(key),
+                coordinator=self._coordinator(),
+            )
+
+    def _rmw_read_done(self, key: str):
+        def then_write(result: OpResult) -> None:
+            now = self.store.sim.now
+            self.store.write(
+                key, self.policy.write_level(now), self._op_done,
+                value_size=self.spec.value_size,
+                coordinator=self._coordinator(),
+            )
+
+        return then_write
+
+    def _op_done(self, result: OpResult) -> None:
+        now = self.store.sim.now
+        if self.interval > 0.0:
+            self._deadline = max(now, self._deadline + self.interval)
+            delay = self._deadline - now
+        else:
+            delay = 0.0
+        self.store.sim.schedule(delay, self._issue_next)
+
+    def _finish(self) -> None:
+        if self.on_finished is not None:
+            cb, self.on_finished = self.on_finished, None
+            cb(self)
+
+
+class OpenLoopSource:
+    """Poisson operation arrivals at a fixed offered rate.
+
+    Unlike the closed-loop client, arrivals do not wait for completions, so
+    the store can be driven into overload -- and the Poisson-arrivals
+    assumption of the analytical staleness model holds by construction.
+    """
+
+    def __init__(
+        self,
+        store: ReplicatedStore,
+        spec: WorkloadSpec,
+        policy: ConsistencyPolicy,
+        rate: float,
+        ops: int,
+        rng: np.random.Generator,
+        dc: Optional[int] = None,
+    ):
+        if rate <= 0:
+            raise ConfigError(f"rate must be positive, got {rate}")
+        if ops < 0:
+            raise ConfigError(f"ops must be >= 0, got {ops}")
+        self.store = store
+        self.spec = spec
+        self.policy = policy
+        self.rate = float(rate)
+        self.remaining = int(ops)
+        self.rng = rng
+        self.chooser = spec.make_chooser(rng=rng)
+        self._coords = store.topology.nodes_in_dc(dc) if dc is not None else None
+
+    def start(self) -> None:
+        """Schedule all arrivals up front (exact Poisson process)."""
+        sim = self.store.sim
+        t = sim.now
+        for _ in range(self.remaining):
+            t += float(self.rng.exponential(1.0 / self.rate))
+            sim.schedule_at(t, self._issue_one)
+        self.remaining = 0
+
+    def _coordinator(self) -> Optional[int]:
+        if self._coords is None:
+            return None
+        return self._coords[int(self.rng.integers(0, len(self._coords)))]
+
+    def _issue_one(self) -> None:
+        now = self.store.sim.now
+        op = self.spec.sample_op(self.rng)
+        key = self.spec.key_of(self.chooser.next_index())
+        if op == "read":
+            self.store.read(
+                key, self.policy.read_level(now), coordinator=self._coordinator()
+            )
+        else:
+            self.store.write(
+                key, self.policy.write_level(now),
+                value_size=self.spec.value_size, coordinator=self._coordinator(),
+            )
+
+
+@dataclass
+class RunReport:
+    """Results of one workload run (the row every experiment table prints)."""
+
+    policy: str
+    workload: str
+    ops_completed: int
+    duration: float
+    throughput: float
+    read_latency_mean: float
+    read_latency_p99: float
+    write_latency_mean: float
+    write_latency_p99: float
+    stale_rate: float
+    stale_rate_strict: float
+    failures: Dict[str, int]
+    billable_bytes: int
+    total_bytes: int
+    read_levels: Dict[str, int] = field(default_factory=dict)
+    write_levels: Dict[str, int] = field(default_factory=dict)
+    mean_propagation: float = 0.0
+
+    def level_mix(self) -> str:
+        """Compact ``label:count`` summary of read levels used (for reports)."""
+        total = sum(self.read_levels.values()) or 1
+        parts = [
+            f"{label}:{100.0 * n / total:.0f}%"
+            for label, n in sorted(self.read_levels.items(), key=lambda kv: -kv[1])
+        ]
+        return " ".join(parts)
+
+
+class WorkloadRunner:
+    """Deploy clients against a store, run to completion, report.
+
+    Parameters
+    ----------
+    store:
+        A freshly constructed deployment (the runner preloads it).
+    spec:
+        Workload mix.
+    policy:
+        Consistency policy shared by all clients (adaptive policies see the
+        whole cluster through the monitor they were built with).
+    n_clients:
+        Closed-loop client count (spread round-robin over datacenters).
+    ops_total:
+        Total operations across clients.
+    target_throughput:
+        Optional total offered rate cap (split evenly across clients).
+    max_time:
+        Simulated-seconds safety stop.
+    """
+
+    def __init__(
+        self,
+        store: ReplicatedStore,
+        spec: WorkloadSpec,
+        policy: Optional[ConsistencyPolicy] = None,
+        n_clients: int = 8,
+        ops_total: int = 10_000,
+        target_throughput: Optional[float] = None,
+        max_time: float = 3600.0,
+        seed: int = 7,
+        preload: bool = True,
+        warmup_fraction: float = 0.0,
+        biller=None,
+    ):
+        if n_clients < 1:
+            raise ConfigError(f"n_clients must be >= 1, got {n_clients}")
+        if ops_total < n_clients:
+            raise ConfigError("ops_total must be >= n_clients")
+        self.store = store
+        self.spec = spec
+        self.policy = policy or StaticPolicy(1, 1, name="one")
+        self.n_clients = int(n_clients)
+        self.ops_total = int(ops_total)
+        self.target_throughput = target_throughput
+        self.max_time = float(max_time)
+        self.seed = int(seed)
+        if not (0.0 <= warmup_fraction < 1.0):
+            raise ConfigError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        self.do_preload = preload
+        self.warmup_fraction = float(warmup_fraction)
+        #: optional repro.cost.Biller re-armed at the warmup boundary so the
+        #: bill covers exactly the measurement phase.
+        self.biller = biller
+        self._usage = _LevelUsage()
+        self._finished_clients = 0
+        self._t_last_op = 0.0
+        self._warmup_remaining = int(self.ops_total * self.warmup_fraction)
+        self._t_measure_start = 0.0
+
+    def run(self) -> RunReport:
+        """Execute the workload and return the report."""
+        store, spec = self.store, self.spec
+        if self.do_preload:
+            store.preload(
+                [spec.key_of(i) for i in range(spec.record_count)], spec.value_size
+            )
+        store.add_listener(self._usage)
+        if self._warmup_remaining > 0:
+            store.add_listener(self)
+
+        rngs = RngFactory(self.seed)
+        per_client = self.ops_total // self.n_clients
+        extra = self.ops_total - per_client * self.n_clients
+        rate = (
+            self.target_throughput / self.n_clients
+            if self.target_throughput
+            else None
+        )
+        n_dcs = len(store.topology.datacenters)
+        t_start = store.sim.now
+        clients = []
+        for i in range(self.n_clients):
+            ops = per_client + (1 if i < extra else 0)
+            client = ClosedLoopClient(
+                store,
+                spec,
+                self.policy,
+                ops=ops,
+                rng=rngs.stream(f"client.{i}"),
+                target_rate=rate,
+                dc=i % n_dcs,
+                on_finished=self._client_finished,
+            )
+            clients.append(client)
+            client.start()
+
+        store.sim.run(until=t_start + self.max_time)
+        # Duration is measured from the end of warmup to the last client
+        # completion, not to the safety horizon (background chatter may keep
+        # the queue non-empty).
+        t_end = self._t_last_op if self._finished_clients == self.n_clients else store.sim.now
+        duration = max(t_end - max(t_start, self._t_measure_start), 1e-9)
+
+        summary = store.summary()
+        return RunReport(
+            policy=self.policy.name,
+            workload=spec.name,
+            ops_completed=store.ops_completed(),
+            duration=duration,
+            throughput=store.ops_completed() / duration,
+            read_latency_mean=summary["read_latency_mean"],
+            read_latency_p99=summary["read_latency_p99"],
+            write_latency_mean=summary["write_latency_mean"],
+            write_latency_p99=summary["write_latency_p99"],
+            stale_rate=summary["stale_rate"],
+            stale_rate_strict=store.oracle.stale_rate_strict,
+            failures=summary["failures"],
+            billable_bytes=summary["billable_bytes"],
+            total_bytes=summary["total_bytes"],
+            read_levels=dict(self._usage.read_levels),
+            write_levels=dict(self._usage.write_levels),
+            mean_propagation=summary["mean_propagation"],
+        )
+
+    def on_op_complete(self, result: OpResult) -> None:
+        """Warmup bookkeeping: reset all measurement state at the boundary."""
+        if self._warmup_remaining <= 0:
+            return
+        self._warmup_remaining -= 1
+        if self._warmup_remaining == 0:
+            self.store.reset_metrics()
+            self._usage.read_levels.clear()
+            self._usage.write_levels.clear()
+            self._t_measure_start = self.store.sim.now
+            if self.biller is not None:
+                self.biller.arm()
+
+    def _client_finished(self, client: ClosedLoopClient) -> None:
+        self._finished_clients += 1
+        self._t_last_op = self.store.sim.now
+        if self._finished_clients == self.n_clients:
+            # All workload ops done: stop simulating background chatter
+            # (monitor ticks, repair sweeps) so runs end promptly.
+            self.store.sim.stop()

@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args([name, "--ops", "100", "--seed", "3"])
+            assert args.command == name
+            assert args.ops == 100
+            assert args.seed == 3
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_e1_g5k_small_run(self, capsys):
+        assert main(["e1-g5k", "--ops", "3000", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out
+        assert "harmony(0.2)" in out
+        assert "stale-read reduction" in out
+
+    def test_fig1_small_run(self, capsys):
+        assert main(["fig1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG1" in out
+        assert "simulator" in out

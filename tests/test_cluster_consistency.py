@@ -1,0 +1,133 @@
+"""Tests for consistency levels, requirements and quorum arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError, ConsistencyError
+from repro.cluster.consistency import (
+    ConsistencyLevel,
+    Requirement,
+    quorum,
+    quorum_intersects,
+    resolve_level,
+)
+
+
+class TestQuorum:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (6, 4), (7, 4)]
+    )
+    def test_majority(self, n, expected):
+        assert quorum(n) == expected
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_two_quorums_intersect(self, n):
+        assert 2 * quorum(n) > n
+
+
+class TestResolveLevel:
+    def test_numeric_levels(self):
+        for n in range(1, 6):
+            req = resolve_level(n, rf_total=5)
+            assert req.total == n
+            assert req.label == f"n={n}"
+            assert not req.per_dc
+
+    def test_numeric_out_of_range(self):
+        with pytest.raises(ConsistencyError):
+            resolve_level(0, rf_total=3)
+        with pytest.raises(ConsistencyError):
+            resolve_level(4, rf_total=3)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_level(True, rf_total=3)  # bool is not a level
+
+    def test_symbolic_counts(self):
+        assert resolve_level(ConsistencyLevel.ONE, 3).total == 1
+        assert resolve_level(ConsistencyLevel.TWO, 3).total == 2
+        assert resolve_level(ConsistencyLevel.THREE, 3).total == 3
+        assert resolve_level(ConsistencyLevel.QUORUM, 5).total == 3
+        assert resolve_level(ConsistencyLevel.ALL, 5).total == 5
+
+    def test_symbolic_exceeding_rf(self):
+        with pytest.raises(ConsistencyError):
+            resolve_level(ConsistencyLevel.THREE, 2)
+
+    def test_invalid_rf(self):
+        with pytest.raises(ConfigError):
+            resolve_level(1, rf_total=0)
+
+    def test_invalid_type(self):
+        with pytest.raises(ConfigError):
+            resolve_level("QUORUM", 3)  # type: ignore[arg-type]
+
+    def test_local_quorum(self):
+        req = resolve_level(
+            ConsistencyLevel.LOCAL_QUORUM,
+            rf_total=5,
+            replicas_by_dc={0: 3, 1: 2},
+            coordinator_dc=0,
+        )
+        assert req.total == 2  # quorum of 3 local replicas
+        assert req.per_dc == {0: 2}
+
+    def test_local_quorum_needs_context(self):
+        with pytest.raises(ConfigError):
+            resolve_level(ConsistencyLevel.LOCAL_QUORUM, 5)
+
+    def test_local_quorum_no_local_replicas(self):
+        with pytest.raises(ConsistencyError):
+            resolve_level(
+                ConsistencyLevel.LOCAL_QUORUM,
+                rf_total=3,
+                replicas_by_dc={0: 3},
+                coordinator_dc=1,
+            )
+
+    def test_each_quorum(self):
+        req = resolve_level(
+            ConsistencyLevel.EACH_QUORUM,
+            rf_total=5,
+            replicas_by_dc={0: 3, 1: 2},
+        )
+        assert req.per_dc == {0: 2, 1: 2}
+        assert req.total == 4
+
+    def test_each_quorum_needs_context(self):
+        with pytest.raises(ConfigError):
+            resolve_level(ConsistencyLevel.EACH_QUORUM, 5)
+
+
+class TestRequirement:
+    def test_satisfied_total_only(self):
+        req = Requirement(total=2)
+        assert not req.satisfied(1, {})
+        assert req.satisfied(2, {})
+
+    def test_satisfied_per_dc(self):
+        req = Requirement(total=3, per_dc={0: 2, 1: 1})
+        assert not req.satisfied(3, {0: 1, 1: 2})  # dc0 short
+        assert req.satisfied(3, {0: 2, 1: 1})
+
+    def test_feasible(self):
+        req = Requirement(total=3, per_dc={0: 2})
+        assert not req.feasible(2, {0: 2})
+        assert not req.feasible(5, {0: 1})
+        assert req.feasible(3, {0: 2, 1: 1})
+
+
+class TestQuorumIntersects:
+    @given(st.integers(1, 10), st.integers(1, 10), st.integers(1, 10))
+    @settings(max_examples=200, deadline=None)
+    def test_property_matches_definition(self, r, w, rf):
+        if r <= rf and w <= rf:
+            assert quorum_intersects(r, w, rf) == (r + w > rf)
+
+    def test_classic_cases(self):
+        assert quorum_intersects(3, 3, 5)  # QUORUM/QUORUM @ RF5
+        assert not quorum_intersects(1, 1, 3)  # ONE/ONE @ RF3
+        assert quorum_intersects(1, 3, 3)  # ONE read after ALL write
+        assert quorum_intersects(3, 1, 3)  # ALL read after ONE write

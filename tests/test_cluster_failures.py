@@ -1,0 +1,158 @@
+"""Tests for failure injection, hinted handoff and anti-entropy repair."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.failures import FailureInjector
+from repro.cluster.hints import HintStore
+from repro.cluster.repair import AntiEntropyRepair
+from repro.cluster.versions import Version
+
+
+class TestHintStore:
+    def test_add_and_drain(self):
+        h = HintStore()
+        v = Version(1.0, 1, 10)
+        h.add(3, "k", v)
+        assert h.pending_for(3) == 1
+        drained = h.drain(3)
+        assert drained == [("k", v)]
+        assert h.pending_for(3) == 0
+        assert h.replayed == 1
+
+    def test_overflow(self):
+        h = HintStore(max_hints_per_node=2)
+        v = Version(1.0, 1, 10)
+        for _ in range(5):
+            h.add(1, "k", v)
+        assert h.pending_for(1) == 2
+        assert h.overflowed == 3
+
+    def test_drain_unknown_node(self):
+        assert HintStore().drain(9) == []
+
+
+class TestFailureInjector:
+    def test_crash_and_recover(self, store):
+        inj = FailureInjector(store)
+        inj.crash_node(0, at=1.0, duration=2.0)
+        store.sim.run(until=1.5)
+        assert not store.nodes[0].up
+        store.sim.run(until=4.0)
+        assert store.nodes[0].up
+        assert len(inj.log) == 2
+
+    def test_crash_validation(self, store):
+        inj = FailureInjector(store)
+        store.sim.schedule(5.0, lambda: None)
+        store.sim.run()
+        with pytest.raises(ConfigError):
+            inj.crash_node(0, at=1.0)  # in the past
+        with pytest.raises(ConfigError):
+            inj.crash_node(0, at=10.0, duration=0.0)
+
+    def test_partition_window(self, store):
+        inj = FailureInjector(store)
+        inj.partition(0, 1, at=1.0, duration=1.0)
+        store.sim.run(until=1.5)
+        assert store.network.is_partitioned(0, 3)
+        store.sim.run(until=3.0)
+        assert not store.network.is_partitioned(0, 3)
+
+    def test_partition_validation(self, store):
+        inj = FailureInjector(store)
+        with pytest.raises(ConfigError):
+            inj.partition(0, 1, at=0.0, duration=-1.0)
+
+    def test_hints_replayed_after_recovery(self, store):
+        # crash a replica of "k", write, recover: hint should patch it
+        replicas = store.strategy.replicas("k", store.ring, store.topology)
+        target = replicas[0]
+        store.nodes[target].crash()
+        results = []
+        store.sim.schedule_at(0.1, store.write, "k", 1, results.append)
+        store.sim.run()
+        assert results[0].ok
+        assert store.hints.pending_for(target) == 1
+        assert "k" not in store.nodes[target].data
+
+        store.sim.schedule_at(store.sim.now + 0.1, store.on_node_recover, target)
+        store.sim.run()
+        assert "k" in store.nodes[target].data
+        assert store.hints.pending_for(target) == 0
+
+    def test_writes_during_partition_miss_remote_dc(self, store):
+        store.network.partition_dcs(0, 1)
+        results = []
+        # pin coordinator in dc0; the dc1 replica never hears about the write
+        store.sim.schedule_at(0.0, store.write, "k", 1, results.append, None, 0)
+        store.sim.run()
+        assert results[0].ok  # level ONE met locally
+        replicas = store.strategy.replicas("k", store.ring, store.topology)
+        remote = [r for r in replicas if store.topology.dc_of(r) == 1]
+        for r in remote:
+            assert "k" not in store.nodes[r].data
+
+    def test_each_quorum_fails_under_partition(self, store):
+        store.network.partition_dcs(0, 1)
+        results = []
+        store.sim.schedule_at(
+            0.0, store.write, "k", ConsistencyLevel.EACH_QUORUM, results.append, None, 0
+        )
+        store.sim.run(until=10.0)
+        assert not results[0].ok
+        assert results[0].error == "timeout"
+
+
+class TestAntiEntropyRepair:
+    def test_validation(self, store):
+        with pytest.raises(ConfigError):
+            AntiEntropyRepair(store, interval=0.0)
+        with pytest.raises(ConfigError):
+            AntiEntropyRepair(store, sample_fraction=0.0)
+        with pytest.raises(ConfigError):
+            AntiEntropyRepair(store, sample_fraction=1.5)
+
+    def test_repairs_partition_divergence(self, store):
+        # write during a partition, heal, then repair must reconverge replicas
+        store.network.partition_dcs(0, 1)
+        store.sim.schedule_at(0.0, store.write, "k", 1, None, None, 0)
+        store.sim.run()
+        store.network.heal_all()
+
+        repair = AntiEntropyRepair(store, interval=1.0, sample_fraction=1.0, rng=0)
+        repair.start()
+        store.sim.run(until=3.0)
+        repair.stop()
+        store.sim.run(until=4.0)
+
+        replicas = store.strategy.replicas("k", store.ring, store.topology)
+        versions = {store.nodes[r].data.get("k") for r in replicas}
+        assert len(versions) == 1  # converged
+        assert repair.repairs_streamed >= 1
+        assert repair.sweeps >= 2
+
+    def test_no_keys_no_crash(self, store):
+        repair = AntiEntropyRepair(store, interval=0.5, sample_fraction=0.5)
+        repair.start()
+        store.sim.run(until=2.0)
+        assert repair.sweeps >= 3
+        assert repair.keys_examined == 0
+
+    def test_skips_down_replicas(self, store):
+        store.network.partition_dcs(0, 1)
+        store.sim.schedule_at(0.0, store.write, "k", 1, None, None, 0)
+        store.sim.run()
+        store.network.heal_all()
+        # crash the lagging replica: repair must not stream to it
+        replicas = store.strategy.replicas("k", store.ring, store.topology)
+        lagging = [r for r in replicas if "k" not in store.nodes[r].data]
+        for r in lagging:
+            store.nodes[r].crash()
+        repair = AntiEntropyRepair(store, interval=0.5, sample_fraction=1.0)
+        repair.start()
+        store.sim.run(until=1.2)
+        repair.stop()
+        for r in lagging:
+            assert "k" not in store.nodes[r].data

@@ -1,0 +1,299 @@
+"""Tests for versions, nodes, coordinator paths and the store facade."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.node import ServiceModel, StorageNode
+from repro.cluster.store import ReplicatedStore, StoreConfig
+from repro.cluster.versions import NONE_VERSION, Version, max_version
+from repro.simcore.simulator import Simulator
+
+
+class TestVersion:
+    def test_ordering_by_timestamp(self):
+        old = Version(1.0, 1, 100)
+        new = Version(2.0, 2, 100)
+        assert new.newer_than(old)
+        assert not old.newer_than(new)
+
+    def test_tie_break_by_write_id(self):
+        a = Version(1.0, 1, 100)
+        b = Version(1.0, 2, 100)
+        assert b.newer_than(a)
+
+    def test_equality_and_hash(self):
+        a = Version(1.0, 1, 100)
+        b = Version(1.0, 1, 999)  # size not part of identity
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != "not a version"
+
+    def test_none_version_older_than_everything(self):
+        v = Version(0.0, 0, 1)
+        assert v.newer_than(NONE_VERSION)
+
+    def test_max_version(self):
+        a = Version(1.0, 1, 1)
+        b = Version(2.0, 2, 1)
+        assert max_version(a, b) is b
+        assert max_version(None, a) is a
+        assert max_version(a, None) is a
+        assert max_version(None, None) is None
+
+
+class TestServiceModel:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ServiceModel(read_base=-1.0)
+
+    def test_sampling_bounds(self):
+        import numpy as np
+
+        m = ServiceModel(read_base=0.001, read_jitter=0.002)
+        rng = np.random.default_rng(0)
+        xs = [m.sample_read(rng) for _ in range(100)]
+        assert all(x >= 0.001 for x in xs)
+        assert m.mean_read() == pytest.approx(0.003)
+        assert m.mean_write() == pytest.approx(0.0005)
+
+    def test_zero_jitter_deterministic(self):
+        import numpy as np
+
+        m = ServiceModel(read_base=0.002, read_jitter=0.0, write_base=0.001, write_jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert m.sample_read(rng) == 0.002
+        assert m.sample_write(rng) == 0.001
+
+
+class TestStorageNode:
+    def test_write_then_read(self, sim):
+        node = StorageNode(sim, 0, rng=0)
+        v = Version(1.0, 1, 100)
+        got = []
+        node.handle_write("k", v, lambda nid, k, ver: got.append(("applied", nid)))
+        sim.run()
+        assert got == [("applied", 0)]
+        assert node.data["k"] is v
+        node.handle_read("k", lambda nid, k, ver: got.append(ver))
+        sim.run()
+        assert got[-1] is v
+
+    def test_lww_reconciliation(self, sim):
+        node = StorageNode(sim, 0, rng=0)
+        newer = Version(2.0, 2, 100)
+        older = Version(1.0, 1, 100)
+        node.handle_write("k", newer, lambda *a: None)
+        sim.run()
+        node.handle_write("k", older, lambda *a: None)
+        sim.run()
+        assert node.data["k"] is newer  # older write lost the race but applied
+
+    def test_down_node_drops_requests(self, sim):
+        node = StorageNode(sim, 0, rng=0)
+        node.crash()
+        got = []
+        node.handle_write("k", Version(1.0, 1, 1), lambda *a: got.append("w"))
+        node.handle_read("k", lambda *a: got.append("r"))
+        sim.run()
+        assert got == []
+        assert node.dropped_while_down == 2
+
+    def test_recover_keeps_data(self, sim):
+        node = StorageNode(sim, 0, rng=0)
+        v = Version(1.0, 1, 1)
+        node.handle_write("k", v, lambda *a: None)
+        sim.run()
+        node.crash()
+        node.recover()
+        assert node.data["k"] is v
+
+    def test_read_missing_key_returns_none(self, sim):
+        node = StorageNode(sim, 0, rng=0)
+        got = []
+        node.handle_read("nope", lambda nid, k, ver: got.append(ver))
+        sim.run()
+        assert got == [None]
+
+
+def run_ops(store, ops):
+    """Schedule (t, kind, key, level) ops and run to completion."""
+    results = []
+    for t, kind, key, level in ops:
+        if kind == "w":
+            store.sim.schedule_at(t, store.write, key, level, results.append)
+        else:
+            store.sim.schedule_at(t, store.read, key, level, results.append)
+    store.sim.run()
+    return results
+
+
+class TestReplicatedStore:
+    def test_write_read_roundtrip(self, store):
+        results = run_ops(
+            store, [(0.0, "w", "k", 1), (1.0, "r", "k", ConsistencyLevel.ALL)]
+        )
+        assert all(r.ok for r in results)
+        read = results[1]
+        assert read.kind == "read"
+        assert read.stale is False
+        assert read.value_size == store.default_value_size
+
+    def test_read_before_any_write_is_fresh(self, store):
+        results = run_ops(store, [(0.0, "r", "nokey", 1)])
+        assert results[0].ok
+        assert results[0].stale is False
+
+    def test_quorum_read_after_quorum_write_never_stale(self, store):
+        ops = []
+        t = 0.0
+        for i in range(50):
+            t += 0.002
+            ops.append((t, "w", f"k{i % 5}", ConsistencyLevel.QUORUM))
+            t += 0.0001  # read races the next write closely
+            ops.append((t, "r", f"k{i % 5}", ConsistencyLevel.QUORUM))
+        run_ops(store, ops)
+        assert store.oracle.stale_reads == 0
+
+    def test_one_read_can_be_stale_across_wan(self, store):
+        # hammer one key at level ONE: WAN replicas lag 10ms
+        ops = []
+        t = 0.0
+        for i in range(300):
+            t += 0.001
+            ops.append((t, "w", "hot", 1))
+            ops.append((t + 0.0005, "r", "hot", 1))
+        run_ops(store, ops)
+        assert store.oracle.stale_rate_strict > 0.0
+
+    def test_all_write_then_one_read_fresh(self, store):
+        # r + w > RF structurally fresh (committed definition)
+        ops = []
+        t = 0.0
+        for i in range(100):
+            t += 0.05
+            ops.append((t, "w", "k", ConsistencyLevel.ALL))
+            ops.append((t + 0.045, "r", "k", 1))  # well after propagation
+        run_ops(store, ops)
+        assert store.oracle.stale_reads == 0
+
+    def test_unavailable_write(self, store):
+        for node in store.nodes:
+            node.crash()
+        results = run_ops(store, [(0.0, "w", "k", 1)])
+        assert not results[0].ok
+        assert results[0].error == "unavailable"
+        assert store.failures.get("write_unavailable") == 1
+
+    def test_unavailable_read(self, store):
+        replicas = store.strategy.replicas("k", store.ring, store.topology)
+        for r in replicas:
+            store.nodes[r].crash()
+        results = run_ops(store, [(0.0, "r", "k", ConsistencyLevel.ALL)])
+        assert not results[0].ok
+        assert results[0].error == "unavailable"
+
+    def test_partial_failure_write_succeeds_at_one(self, store):
+        replicas = store.strategy.replicas("k", store.ring, store.topology)
+        store.nodes[replicas[0]].crash()
+        results = run_ops(store, [(0.0, "w", "k", 1)])
+        assert results[0].ok
+
+    def test_preload_installs_everywhere(self, store):
+        store.preload(["a", "b"], 500)
+        for key in ("a", "b"):
+            for r in store.strategy.replicas(key, store.ring, store.topology):
+                assert key in store.nodes[r].data
+                assert store.nodes[r].data[key].size == 500
+        assert set(store.written_keys()) == {"a", "b"}
+
+    def test_preloaded_reads_fresh(self, store):
+        store.preload(["a"], 100)
+        results = run_ops(store, [(0.0, "r", "a", 1)])
+        assert results[0].ok and results[0].stale is False
+
+    def test_reset_metrics_keeps_data(self, store):
+        store.preload(["a"], 100)
+        run_ops(store, [(0.0, "w", "a", 1), (0.5, "r", "a", 1)])
+        assert store.ops_completed() == 2
+        store.reset_metrics()
+        assert store.ops_completed() == 0
+        assert store.oracle.reads == 0
+        assert "a" in store.nodes[
+            store.strategy.replicas("a", store.ring, store.topology)[0]
+        ].data
+
+    def test_listener_called(self, store):
+        seen = []
+
+        class Listener:
+            def on_op_complete(self, result):
+                seen.append(result.kind)
+
+        store.add_listener(Listener())
+        run_ops(store, [(0.0, "w", "k", 1), (0.5, "r", "k", 1)])
+        assert seen == ["write", "read"]
+
+    def test_propagation_listener(self, store):
+        propagated = []
+
+        class Listener:
+            def on_op_complete(self, result):
+                pass
+
+            def on_write_propagated(self, result):
+                propagated.append(len(result.ack_delays))
+
+        store.add_listener(Listener())
+        run_ops(store, [(0.0, "w", "k", 1)])
+        assert propagated == [3]  # all RF=3 replicas acked
+
+    def test_summary_keys(self, store):
+        run_ops(store, [(0.0, "w", "k", 1), (0.5, "r", "k", 1)])
+        s = store.summary()
+        for key in (
+            "reads_ok",
+            "writes_ok",
+            "stale_rate",
+            "read_latency_mean",
+            "billable_bytes",
+        ):
+            assert key in s
+        assert s["reads_ok"] == 1 and s["writes_ok"] == 1
+
+    def test_rf_exceeding_nodes_rejected(self, sim, small_topology):
+        from repro.cluster.replication import SimpleStrategy
+
+        with pytest.raises(ConfigError):
+            ReplicatedStore(
+                sim, small_topology, strategy=SimpleStrategy(rf=6)
+            )
+
+    def test_coordinator_pinning(self, store):
+        results = []
+        store.sim.schedule_at(0.0, store.write, "k", 1, results.append, None, 0)
+        store.sim.run()
+        assert results[0].ok
+
+    def test_read_repair_patches_lagging_replica(self, sim, small_topology):
+        from repro.cluster.replication import NetworkTopologyStrategy
+
+        st = ReplicatedStore(
+            sim,
+            small_topology,
+            strategy=NetworkTopologyStrategy({0: 2, 1: 1}),
+            config=StoreConfig(seed=3, read_repair_chance=1.0),
+        )
+        st.preload(["k"], 100)
+        results = run_ops(
+            st,
+            [(0.0, "w", "k", 1)]
+            + [(0.5 + i * 0.01, "r", "k", 1) for i in range(20)],
+        )
+        sim.run(until=sim.now + 1.0)
+        # after repair everything converges to the newest version
+        versions = {
+            st.nodes[r].data["k"].write_id
+            for r in st.strategy.replicas("k", st.ring, st.topology)
+        }
+        assert len(versions) == 1

@@ -1,0 +1,117 @@
+"""Tests for platform presets and the experiment harness (scaled down)."""
+
+import pytest
+
+from repro.experiments.platforms import (
+    ec2_cost_platform,
+    ec2_harmony_platform,
+    grid5000_bismar_platform,
+    grid5000_harmony_platform,
+)
+from repro.experiments.runner import (
+    bismar_factory,
+    harmony_factory,
+    rationing_factory,
+    run_one,
+    rwratio_factory,
+    static_factory,
+)
+
+
+class TestPlatforms:
+    @pytest.mark.parametrize(
+        "factory,nodes,rf",
+        [
+            (ec2_harmony_platform, 20, 3),
+            (grid5000_harmony_platform, 84, 3),
+            (ec2_cost_platform, 18, 5),
+            (grid5000_bismar_platform, 50, 5),
+        ],
+    )
+    def test_paper_deployment_shapes(self, factory, nodes, rf):
+        plat = factory()
+        sim, store = plat.build(seed=0)
+        assert store.topology.n_nodes == nodes
+        assert store.strategy.rf_total == rf
+        assert plat.rf == rf
+        assert len(store.topology.datacenters) == 2
+
+    def test_builds_are_independent(self):
+        plat = ec2_harmony_platform()
+        _, a = plat.build(seed=0)
+        _, b = plat.build(seed=0)
+        assert a is not b
+        assert a.sim is not b.sim
+
+    def test_scale_knob(self):
+        small = ec2_cost_platform(scale=0.5)
+        assert small.default_ops == 20_000
+        assert small.default_record_count == 60
+
+    def test_g5k_has_wan_latency(self):
+        plat = grid5000_harmony_platform()
+        _, store = plat.build(seed=0)
+        wan = store.topology.mean_wan_delay()
+        assert wan == pytest.approx(0.009, rel=0.01)
+
+
+class TestRunOne:
+    def test_static_run_returns_report_and_bill(self):
+        plat = ec2_harmony_platform()
+        rep, bill = run_one(
+            plat, static_factory(1, 1, name="one"), ops=2000, clients=8, seed=1
+        )
+        assert rep.ops_completed > 0
+        assert rep.policy == "one"
+        assert bill.total > 0
+        assert bill.ops > 0
+
+    def test_warmup_excluded_from_bill(self):
+        plat = ec2_harmony_platform()
+        rep_full, bill_full = run_one(
+            plat, static_factory(1, 1), ops=2000, clients=8, seed=1,
+            warmup_fraction=0.0,
+        )
+        rep_warm, bill_warm = run_one(
+            plat, static_factory(1, 1), ops=2000, clients=8, seed=1,
+            warmup_fraction=0.5,
+        )
+        assert bill_warm.ops < bill_full.ops
+
+    def test_harmony_factory_run(self):
+        plat = ec2_harmony_platform()
+        rep, _ = run_one(plat, harmony_factory(0.2), ops=3000, clients=8, seed=1)
+        assert rep.policy == "harmony(0.2)"
+        assert rep.ops_completed > 0
+        assert rep.stale_rate_strict <= 0.2 + 0.1
+
+    def test_bismar_factory_run(self):
+        plat = grid5000_bismar_platform()
+        rep, bill = run_one(
+            plat, bismar_factory(plat.prices, stale_cap=0.1),
+            ops=3000, clients=8, seed=1,
+        )
+        assert rep.policy.startswith("bismar")
+        assert bill.total > 0
+
+    def test_baseline_factories_run(self):
+        plat = ec2_harmony_platform()
+        for factory in (rationing_factory(0.01), rwratio_factory(2.0)):
+            rep, _ = run_one(plat, factory, ops=1500, clients=4, seed=1)
+            assert rep.ops_completed > 0
+
+    def test_target_throughput_paces(self):
+        plat = ec2_harmony_platform()
+        rep, _ = run_one(
+            plat, static_factory(1, 1), ops=2000, clients=8, seed=1,
+            target_throughput=1000.0, warmup_fraction=0.0,
+        )
+        assert rep.throughput == pytest.approx(1000.0, rel=0.15)
+
+    def test_seed_reproducibility(self):
+        plat = ec2_harmony_platform()
+        rep1, bill1 = run_one(plat, static_factory(1, 1), ops=1500, clients=4, seed=5)
+        rep2, bill2 = run_one(plat, static_factory(1, 1), ops=1500, clients=4, seed=5)
+        assert rep1.throughput == pytest.approx(rep2.throughput)
+        assert rep1.stale_rate == rep2.stale_rate
+        assert bill1.total == pytest.approx(bill2.total)

@@ -1,0 +1,175 @@
+"""Tests for the monitoring module (rates, ack profile, key frequencies)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.coordinator import OpResult
+from repro.monitor.collector import ClusterMonitor
+from repro.monitor.keyfreq import KeyFrequencyTracker
+
+
+def op(kind, key, t_start, t_end, ok=True, acks=None):
+    r = OpResult(kind, key, t_start, "n=1")
+    r.t_end = t_end
+    r.ok = ok
+    if acks is not None:
+        r.ack_delays = list(acks)
+        r.replicas_contacted = len(acks)
+    return r
+
+
+class TestKeyFrequencyTracker:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            KeyFrequencyTracker(window=0.0)
+
+    def test_shares(self):
+        t = KeyFrequencyTracker(window=10.0)
+        for _ in range(3):
+            t.record_read("a", 1.0)
+        t.record_read("b", 1.0)
+        shares = t.read_shares()
+        assert shares["a"] == pytest.approx(0.75)
+        assert shares["b"] == pytest.approx(0.25)
+
+    def test_empty_shares(self):
+        t = KeyFrequencyTracker()
+        assert t.read_shares() == {}
+        assert t.write_shares() == {}
+        assert t.effective_key_count() == float("inf")
+
+    def test_effective_key_count_uniform(self):
+        t = KeyFrequencyTracker()
+        for i in range(10):
+            t.record_write(f"k{i}", 1.0)
+        assert t.effective_key_count() == pytest.approx(10.0)
+
+    def test_effective_key_count_skewed(self):
+        t = KeyFrequencyTracker()
+        for _ in range(9):
+            t.record_write("hot", 1.0)
+        t.record_write("cold", 1.0)
+        # inverse simpson of (0.9, 0.1) = 1/(0.81+0.01)
+        assert t.effective_key_count() == pytest.approx(1.0 / 0.82)
+
+    def test_rotation_expires_old_counts(self):
+        t = KeyFrequencyTracker(window=1.0)
+        t.record_write("old", 0.0)
+        t.record_write("new", 1.5)  # rotates; "old" in previous bucket
+        assert "old" in t.write_shares()
+        t.record_write("newer", 3.0)  # rotates again; "old" gone
+        assert "old" not in t.write_shares()
+        assert "new" in t.write_shares()
+
+    def test_collision_profile_exact_when_small(self):
+        t = KeyFrequencyTracker()
+        t.record_read("a", 0.0)
+        t.record_write("a", 0.0)
+        t.record_read("b", 0.0)
+        rows = t.collision_profile()
+        assert len(rows) == 2
+        assert all(m == 1 for _, _, m in rows)
+        # sorted by read share desc, shares sum to 1
+        assert rows[0][0] >= rows[1][0]
+        assert sum(r for r, _, _ in rows) == pytest.approx(1.0)
+
+    def test_collision_profile_tail_folding(self):
+        t = KeyFrequencyTracker()
+        for i in range(600):
+            t.record_read(f"k{i}", 0.0)
+            t.record_write(f"k{i}", 0.0)
+        rows = t.collision_profile(max_keys=100)
+        assert len(rows) == 101
+        head, tail = rows[:100], rows[100]
+        assert tail[2] == 500  # multiplicity of the folded tail
+        total_read = sum(r * m for r, _, m in rows)
+        assert total_read == pytest.approx(1.0, rel=1e-6)
+
+
+class TestClusterMonitor:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterMonitor(window=0.0)
+
+    def test_rates(self):
+        m = ClusterMonitor(window=2.0)
+        for i in range(100):
+            m.on_op_complete(op("read", "k", i * 0.01, i * 0.01 + 0.001))
+        for i in range(50):
+            m.on_op_complete(op("write", "k", i * 0.02, i * 0.02 + 0.001))
+        snap = m.snapshot(1.0)
+        assert snap.read_rate == pytest.approx(100.0, rel=0.2)
+        assert snap.write_rate == pytest.approx(50.0, rel=0.2)
+
+    def test_latency_ewma(self):
+        m = ClusterMonitor(window=2.0)
+        for i in range(50):
+            m.on_op_complete(op("read", "k", i * 0.1, i * 0.1 + 0.005))
+        assert m.read_latency.value == pytest.approx(0.005, rel=0.01)
+
+    def test_failed_ops_excluded_from_latency(self):
+        m = ClusterMonitor()
+        m.on_op_complete(op("read", "k", 0.0, 99.0, ok=False))
+        assert m.read_latency.value == 0.0
+
+    def test_ack_rank_profile(self):
+        m = ClusterMonitor()
+        # two writes with 3 acks each
+        m.on_write_propagated(op("write", "k", 0.0, 0.0, acks=[0.003, 0.001, 0.010]))
+        m.on_write_propagated(op("write", "k", 1.0, 1.0, acks=[0.002, 0.012, 0.004]))
+        ranks = m.ack_rank_means(recent=False)
+        assert len(ranks) == 3
+        assert ranks[0] == pytest.approx((0.001 + 0.002) / 2)
+        assert ranks[2] == pytest.approx((0.010 + 0.012) / 2)
+        # ranks are sorted per write so means are monotone
+        assert ranks[0] <= ranks[1] <= ranks[2]
+
+    def test_empty_ack_profile(self):
+        m = ClusterMonitor()
+        m.on_write_propagated(op("write", "k", 0.0, 0.0, acks=[]))
+        assert m.ack_rank_means() == []
+
+    def test_snapshot_structure(self):
+        m = ClusterMonitor()
+        m.on_op_complete(op("read", "a", 0.0, 0.001))
+        m.on_op_complete(op("write", "a", 0.0, 0.001))
+        m.on_write_propagated(op("write", "a", 0.0, 0.0, acks=[0.001, 0.002]))
+        snap = m.snapshot(0.5)
+        assert snap.replication_factor() == 2
+        assert snap.key_profile
+        windows = snap.propagation_windows(write_level=1)
+        assert len(windows) == 2
+        assert windows[0] == 0.0  # rank-1 window relative to rank-1 commit
+
+    def test_propagation_windows_levels(self):
+        m = ClusterMonitor()
+        m.on_write_propagated(
+            op("write", "k", 0.0, 0.0, acks=[0.001, 0.005, 0.020])
+        )
+        snap = m.snapshot(0.1)
+        w1 = snap.propagation_windows(1)
+        assert w1 == pytest.approx([0.0, 0.004, 0.019])
+        w3 = snap.propagation_windows(3)
+        assert w3 == pytest.approx([0.0, 0.0, 0.0])
+
+    def test_snapshot_empty_monitor(self):
+        snap = ClusterMonitor().snapshot(1.0)
+        assert snap.read_rate == 0.0
+        assert snap.replication_factor() == 0
+        assert snap.propagation_windows(1) == []
+
+    def test_live_against_store(self, store):
+        m = ClusterMonitor(window=5.0)
+        store.add_listener(m)
+        for i in range(100):
+            store.sim.schedule_at(i * 0.01, store.write, "k", 1)
+            store.sim.schedule_at(i * 0.01 + 0.002, store.read, "k", 1)
+        store.sim.run()
+        assert m.ops_seen == 200
+        snap = m.snapshot()
+        assert snap.replication_factor() == 3
+        assert snap.write_rate > 0
+        # rank means increase with rank and reflect the 10ms WAN hop
+        ranks = snap.ack_rank_means
+        assert ranks[0] < ranks[-1]
+        assert ranks[-1] > 0.01

@@ -1,0 +1,320 @@
+"""Tests for the discrete-event engine: events, simulator, processes, resources."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.simcore.events import Event
+from repro.simcore.process import Delay, Process, WaitEvent
+from repro.simcore.resources import Resource
+from repro.simcore.simulator import Simulator
+
+
+class TestEvent:
+    def test_ordering_by_time_then_seq(self):
+        a = Event(1.0, 1, None)
+        b = Event(2.0, 0, None)
+        c = Event(1.0, 2, None)
+        assert a < b and a < c and not (b < a)
+
+    def test_cancel_drops_references(self):
+        payload = [1, 2, 3]
+        ev = Event(1.0, 1, print, (payload,))
+        ev.cancel()
+        assert ev.cancelled
+        assert ev.fn is None
+        assert ev.args == ()
+
+
+class TestSimulator:
+    def test_fires_in_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_equal_times_fire_in_schedule_order(self, sim):
+        fired = []
+        for tag in "abcde":
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_event_skipped(self, sim):
+        fired = []
+        ev = sim.schedule(1.0, fired.append, "x")
+        ev.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_run_until_advances_clock(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_leaves_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_events_scheduled_during_run(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_max_events(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_stop_from_callback(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run(until=100.0)
+        assert fired == [1]
+        assert sim.now == 2.0  # stop prevents clock advance to `until`
+
+    def test_step(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is False
+
+    def test_reset(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending() == 0
+        assert sim.events_processed == 0
+
+    def test_not_reentrant(self, sim):
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0.0, nested)
+        sim.run()
+
+    def test_peek_time_skips_cancelled(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek_time() == 2.0
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_property_monotone_clock(self, delays):
+        sim = Simulator()
+        times = []
+        for d in delays:
+            sim.schedule(d, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+
+class TestProcess:
+    def test_delay_sequencing(self, sim):
+        log = []
+
+        def proc():
+            log.append(("start", sim.now))
+            yield Delay(1.5)
+            log.append(("mid", sim.now))
+            yield Delay(0.5)
+            log.append(("end", sim.now))
+
+        Process(sim, proc())
+        sim.run()
+        assert log == [("start", 0.0), ("mid", 1.5), ("end", 2.0)]
+
+    def test_wait_event_value(self, sim):
+        got = []
+        we = WaitEvent()
+
+        def waiter():
+            value = yield we
+            got.append(value)
+
+        Process(sim, waiter())
+        sim.schedule(2.0, we.succeed, "payload")
+        sim.run()
+        assert got == ["payload"]
+        assert we.done and we.value == "payload"
+
+    def test_wait_event_already_done(self, sim):
+        we = WaitEvent()
+        we.succeed(7)
+        got = []
+
+        def waiter():
+            got.append((yield we))
+
+        Process(sim, waiter())
+        sim.run()
+        assert got == [7]
+
+    def test_wait_event_failure_raises_in_process(self, sim):
+        we = WaitEvent()
+        caught = []
+
+        def waiter():
+            try:
+                yield we
+            except RuntimeError as e:
+                caught.append(str(e))
+
+        Process(sim, waiter())
+        sim.schedule(1.0, we.fail, RuntimeError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_double_complete_rejected(self, sim):
+        we = WaitEvent()
+        we.succeed(1)
+        with pytest.raises(SimulationError):
+            we.succeed(2)
+        with pytest.raises(SimulationError):
+            we.fail(RuntimeError())
+
+    def test_process_waits_on_process(self, sim):
+        order = []
+
+        def child():
+            yield Delay(2.0)
+            order.append("child-done")
+            return 42
+
+        def parent():
+            c = Process(sim, child(), name="child")
+            result = yield c
+            order.append(("parent-got", result))
+
+        Process(sim, parent(), name="parent")
+        sim.run()
+        assert order == ["child-done", ("parent-got", 42)]
+
+    def test_finished_event(self, sim):
+        def proc():
+            yield Delay(1.0)
+            return "done"
+
+        p = Process(sim, proc())
+        sim.run()
+        assert p.finished.done
+        assert p.finished.value == "done"
+
+    def test_bad_yield_raises(self, sim):
+        def proc():
+            yield "not an instruction"
+
+        Process(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Delay(-1.0)
+
+
+class TestResource:
+    def test_validation(self, sim):
+        with pytest.raises(ConfigError):
+            Resource(sim, servers=0)
+        r = Resource(sim)
+        with pytest.raises(ConfigError):
+            r.submit(-1.0, lambda: None)
+
+    def test_single_server_serializes(self, sim):
+        r = Resource(sim, servers=1)
+        done = []
+        r.submit(1.0, lambda: done.append(sim.now))
+        r.submit(1.0, lambda: done.append(sim.now))
+        r.submit(1.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 2.0, 3.0]
+        assert r.completed == 3
+
+    def test_parallel_servers(self, sim):
+        r = Resource(sim, servers=3)
+        done = []
+        for _ in range(3):
+            r.submit(1.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 1.0, 1.0]
+
+    def test_queue_wait_recorded(self, sim):
+        r = Resource(sim, servers=1)
+        r.submit(2.0, lambda: None)
+        r.submit(1.0, lambda: None)
+        sim.run()
+        # second request waited 2.0s
+        assert r.queue_wait.max == pytest.approx(2.0)
+        assert r.queue_wait.min == pytest.approx(0.0)
+
+    def test_busy_and_queued_counters(self, sim):
+        r = Resource(sim, servers=1)
+        r.submit(1.0, lambda: None)
+        r.submit(1.0, lambda: None)
+        assert r.busy == 1
+        assert r.queued == 1
+        assert r.utilization_hint() == 1.0
+        sim.run()
+        assert r.busy == 0 and r.queued == 0
+
+    def test_fifo_order(self, sim):
+        r = Resource(sim, servers=1)
+        order = []
+        for tag in "abc":
+            r.submit(0.5, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    @given(st.integers(1, 4), st.lists(st.floats(0.01, 2.0), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_conservation(self, servers, services):
+        sim = Simulator()
+        r = Resource(sim, servers=servers)
+        done = []
+        for s in services:
+            r.submit(s, done.append, s)
+        sim.run()
+        assert sorted(done) == sorted(services)  # nothing lost or duplicated
+        assert r.completed == len(services)
+        # makespan bounds: at least max service, at most serial sum
+        assert sim.now >= max(services) - 1e-9
+        assert sim.now <= sum(services) + 1e-9

@@ -1,0 +1,302 @@
+"""Tests for the closed-form, strict, DC-aware and Monte-Carlo stale models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.stale.dcmodel import DeploymentInfo, per_key_stale_dc, system_stale_rate_dc
+from repro.stale.model import (
+    StaleModelParams,
+    closed_form_exponential,
+    params_from_snapshot,
+    per_key_stale_probability,
+    per_key_stale_probability_strict,
+    system_stale_rate,
+)
+from repro.stale.montecarlo import MonteCarloStaleEstimator
+
+WINDOWS5 = [0.0, 0.002, 0.004, 0.010, 0.015]
+
+
+class TestCommittedModel:
+    def test_zero_write_rate(self):
+        assert per_key_stale_probability(0.0, 1, 1, WINDOWS5) == 0.0
+
+    def test_quorum_intersection_zero(self):
+        for r in range(1, 6):
+            for w in range(1, 6):
+                p = per_key_stale_probability(10.0, r, w, WINDOWS5)
+                if r + w > 5:
+                    assert p == 0.0
+                else:
+                    assert p >= 0.0
+
+    def test_monotone_decreasing_in_read_level(self):
+        probs = [per_key_stale_probability(20.0, r, 1, WINDOWS5) for r in range(1, 6)]
+        for a, b in zip(probs, probs[1:]):
+            assert a >= b - 1e-12
+
+    def test_monotone_increasing_in_write_rate(self):
+        probs = [
+            per_key_stale_probability(lam, 1, 1, WINDOWS5)
+            for lam in (0.1, 1.0, 10.0, 100.0)
+        ]
+        for a, b in zip(probs, probs[1:]):
+            assert b >= a
+
+    def test_monotone_in_windows(self):
+        small = per_key_stale_probability(10.0, 1, 1, [0.0, 0.001, 0.001])
+        large = per_key_stale_probability(10.0, 1, 1, [0.0, 0.1, 0.1])
+        assert large > small
+
+    def test_single_replica_always_fresh(self):
+        # RF=1: the only replica is the synchronous one
+        assert per_key_stale_probability(100.0, 1, 1, [0.0]) == 0.0
+
+    def test_exact_two_replica_case(self):
+        # RF=2, w=1, r=1: avoid=1/2; contacted laggard window W with prob 1
+        lam, w2 = 5.0, 0.01
+        expected = 0.5 * (1 - math.exp(-lam * w2))
+        got = per_key_stale_probability(lam, 1, 1, [0.0, w2])
+        assert got == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            per_key_stale_probability(-1.0, 1, 1, WINDOWS5)
+        with pytest.raises(ConfigError):
+            per_key_stale_probability(1.0, 0, 1, WINDOWS5)
+        with pytest.raises(ConfigError):
+            per_key_stale_probability(1.0, 1, 9, WINDOWS5)
+
+    @given(
+        st.floats(0.0, 1000.0),
+        st.integers(1, 5),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_valid_probability(self, lam, r, w):
+        p = per_key_stale_probability(lam, r, w, WINDOWS5)
+        assert 0.0 <= p <= 1.0
+
+
+class TestStrictModel:
+    def test_no_quorum_shortcut(self):
+        # strict staleness is positive even for r+w > N (in-flight races)
+        p = per_key_stale_probability_strict(50.0, 5, [0.001] * 5)
+        assert p > 0.0
+
+    def test_strict_geq_committed(self):
+        # full apply windows always dominate post-commit residuals
+        lam = 20.0
+        full = [0.001, 0.003, 0.005, 0.012, 0.018]
+        residual = [max(x - full[0], 0.0) for x in full]
+        for r in range(1, 6):
+            s = per_key_stale_probability_strict(lam, r, full)
+            c = per_key_stale_probability(lam, r, 1, residual)
+            assert s >= c - 1e-12
+
+    def test_monotone_decreasing_in_read_level(self):
+        probs = [
+            per_key_stale_probability_strict(20.0, r, WINDOWS5) for r in range(1, 6)
+        ]
+        for a, b in zip(probs, probs[1:]):
+            assert a >= b - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            per_key_stale_probability_strict(1.0, 0, WINDOWS5)
+        with pytest.raises(ConfigError):
+            per_key_stale_probability_strict(1.0, 1, [])
+
+
+class TestExponentialClosedForm:
+    def test_formula(self):
+        lam, theta, rf = 10.0, 0.01, 5
+        for r in (1, 2):
+            avoid = math.comb(rf - 1, r) / math.comb(rf, r)
+            expected = avoid * lam * theta / (lam * theta + r)
+            assert closed_form_exponential(lam, r, 1, rf, theta) == pytest.approx(
+                expected
+            )
+
+    def test_quorum_zero(self):
+        assert closed_form_exponential(10.0, 3, 3, 5, 0.01) == 0.0
+
+    def test_degenerate(self):
+        assert closed_form_exponential(0.0, 1, 1, 3, 0.01) == 0.0
+        assert closed_form_exponential(10.0, 1, 1, 3, 0.0) == 0.0
+
+
+class TestSystemAggregation:
+    def test_uniform_profile(self):
+        params = StaleModelParams(
+            write_rate=100.0,
+            windows=WINDOWS5,
+            key_profile=[(0.01, 0.01, 100)],  # 100 uniform keys
+            strict=False,
+        )
+        per_key = per_key_stale_probability(1.0, 1, 1, WINDOWS5)
+        assert system_stale_rate(params, 1, 1) == pytest.approx(per_key)
+
+    def test_skew_increases_staleness(self):
+        uniform = StaleModelParams(
+            write_rate=100.0, windows=WINDOWS5,
+            key_profile=[(0.01, 0.01, 100)], strict=True,
+        )
+        skewed = StaleModelParams(
+            write_rate=100.0, windows=WINDOWS5,
+            key_profile=[(0.5, 0.5, 1), (0.005, 0.005, 100)], strict=True,
+        )
+        assert system_stale_rate(skewed, 1, 1) > system_stale_rate(uniform, 1, 1)
+
+    def test_empty_profile(self):
+        params = StaleModelParams(
+            write_rate=10.0, windows=WINDOWS5, key_profile=[]
+        )
+        assert system_stale_rate(params, 1, 1) == 0.0
+
+    def test_rf_window_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            StaleModelParams(
+                write_rate=1.0, windows=[0.0, 0.1], key_profile=[(1, 1, 1)], rf=5
+            )
+
+
+class TestParamsFromSnapshot:
+    def _snap(self, acks, write_rate=10.0):
+        from repro.monitor.collector import MonitorSnapshot
+
+        return MonitorSnapshot(
+            t=1.0,
+            read_rate=20.0,
+            write_rate=write_rate,
+            ack_rank_means=acks,
+            key_profile=[(1.0, 1.0, 1)],
+            read_latency=0.001,
+            write_latency=0.001,
+        )
+
+    def test_strict_uses_full_ack_delays(self):
+        p = params_from_snapshot(self._snap([0.001, 0.01]), 1, fallback_rf=2)
+        assert list(p.windows) == [0.001, 0.01]
+        assert p.strict
+
+    def test_committed_uses_residuals(self):
+        p = params_from_snapshot(
+            self._snap([0.001, 0.01]), 1, fallback_rf=2, strict=False
+        )
+        assert list(p.windows) == pytest.approx([0.0, 0.009])
+
+    def test_cold_start_fallback(self):
+        p = params_from_snapshot(self._snap([]), 1, fallback_rf=3, fallback_window=0.05)
+        assert p.rf == 3
+        assert list(p.windows) == [0.05] * 3
+
+
+class TestDeploymentInfo:
+    def _info(self):
+        return DeploymentInfo(
+            coordinator_share=[0.6, 0.4],
+            rf_per_dc=[3, 2],
+            delay=[[0.0002, 0.010], [0.010, 0.0002]],
+            write_service=0.0005,
+            read_service=0.0007,
+        )
+
+    def test_shares_normalized(self):
+        info = DeploymentInfo(
+            coordinator_share=[3, 2],
+            rf_per_dc=[1, 1],
+            delay=[[0.0, 0.01], [0.01, 0.0]],
+            write_service=0.0,
+            read_service=0.0,
+        )
+        assert sum(info.coordinator_share) == pytest.approx(1.0)
+
+    def test_alignment_checked(self):
+        with pytest.raises(ConfigError):
+            DeploymentInfo([1.0], [1, 1], [[0.0]], 0.0, 0.0)
+
+    def test_dc_model_properties(self):
+        info = self._info()
+        # level 5 contacts both DCs: one of them always has the write locally
+        assert per_key_stale_dc(info, 100.0, 5) == pytest.approx(0.0, abs=1e-6)
+        # level 1 is exposed to the WAN window
+        p1 = per_key_stale_dc(info, 100.0, 1)
+        assert p1 > 0.1
+        # monotone in read level
+        probs = [per_key_stale_dc(info, 100.0, r) for r in range(1, 6)]
+        for a, b in zip(probs, probs[1:]):
+            assert a >= b - 1e-9
+
+    def test_local_reads_blind_to_remote_commits(self):
+        # r=3 keeps a dc0 reader fully local: dc1-coordinated writes are
+        # invisible for the WAN delay, so staleness stays high (the effect
+        # the uniform-subset model misses).
+        info = self._info()
+        p3 = per_key_stale_dc(info, 100.0, 3)
+        p4 = per_key_stale_dc(info, 100.0, 4)
+        assert p3 > 0.05
+        assert p4 == pytest.approx(0.0, abs=1e-6)
+
+    def test_from_store(self, store):
+        info = DeploymentInfo.from_store(store)
+        assert info.rf_per_dc == [2, 1]
+        assert info.n_dcs == 2
+        assert info.rf_total == 3
+        assert info.delay[0][1] == pytest.approx(0.010)
+        assert info.delay[0][0] == pytest.approx(0.0002)
+
+    def test_system_aggregation(self):
+        info = self._info()
+        profile = [(0.5, 0.5, 1), (0.005, 0.005, 100)]
+        p = system_stale_rate_dc(info, 100.0, profile, 1)
+        assert 0.0 < p <= 1.0
+        assert system_stale_rate_dc(info, 100.0, [], 1) == 0.0
+
+    def test_validation(self):
+        info = self._info()
+        with pytest.raises(ConfigError):
+            per_key_stale_dc(info, -1.0, 1)
+        with pytest.raises(ConfigError):
+            per_key_stale_dc(info, 1.0, 9)
+
+
+class TestMonteCarloAgreement:
+    def test_deterministic_windows_match_closed_form(self):
+        base = np.array([0.001, 0.01, 0.02, 0.05, 0.08])
+
+        def sampler(rng, n):
+            return np.tile(base, (n, 1))
+
+        lam = 4.0
+        mc = MonteCarloStaleEstimator(
+            write_rate=lam, read_rate=80.0, rf=5, delay_sampler=sampler, rng=1
+        )
+        for w in (1, 2):
+            windows = np.maximum(base - np.sort(base)[w - 1], 0.0)
+            for r in (1, 2, 3):
+                cf = per_key_stale_probability(lam, r, w, windows)
+                est = mc.estimate(r, w, horizon=300.0)
+                assert est == pytest.approx(cf, abs=0.02)
+
+    def test_quorum_zero_exact(self):
+        mc = MonteCarloStaleEstimator(write_rate=10.0, read_rate=50.0, rf=3, rng=0)
+        assert mc.estimate(2, 2, horizon=100.0) == 0.0
+
+    def test_matrix_shape_and_monotonicity(self):
+        mc = MonteCarloStaleEstimator(write_rate=10.0, read_rate=100.0, rf=4, rng=2)
+        mat = mc.estimate_matrix(1, horizon=150.0)
+        assert mat.shape == (4,)
+        assert mat[0] >= mat[-1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MonteCarloStaleEstimator(write_rate=0.0, read_rate=1.0, rf=3)
+        mc = MonteCarloStaleEstimator(write_rate=1.0, read_rate=1.0, rf=3)
+        with pytest.raises(ConfigError):
+            mc.estimate(0, 1)
