@@ -1,0 +1,48 @@
+"""Benchmarks for the scenario-sweep subsystem.
+
+Tracks the wall-clock of (a) planning a full-registry sweep (pure python,
+must stay trivially cheap) and (b) executing a small multi-scenario sweep
+serially vs. over a worker pool -- the parallel path should win as soon as
+runs outnumber cores, and a timing regression here means the fan-out is
+serializing somewhere.
+"""
+
+from repro.experiments.sweep import SweepRunner, plan_sweep
+
+BENCH_OPS = 1500
+
+
+def test_sweep_planning(benchmark):
+    def run():
+        return plan_sweep(grid={"tolerance": [0.1, 0.2, 0.3, 0.4]})
+
+    plan = benchmark(run)
+    assert len(plan) >= 8
+
+
+def test_sweep_serial(benchmark):
+    plan = plan_sweep(
+        scenario_names=["single-dc-ycsb-a", "geo-replication"],
+        grid={"tolerance": [0.2, 0.4]},
+        ops=BENCH_OPS,
+    )
+
+    def run():
+        return SweepRunner(jobs=1).run(plan)
+
+    result = benchmark(run)
+    assert len(result.rows) == 4
+
+
+def test_sweep_parallel(benchmark):
+    plan = plan_sweep(
+        scenario_names=["single-dc-ycsb-a", "geo-replication"],
+        grid={"tolerance": [0.2, 0.4]},
+        ops=BENCH_OPS,
+    )
+
+    def run():
+        return SweepRunner(jobs=4).run(plan)
+
+    result = benchmark(run)
+    assert len(result.rows) == 4

@@ -1,0 +1,10 @@
+"""Legacy-path shim: all metadata lives in pyproject.toml.
+
+``pip install -e .`` is the supported route. This file exists only so
+offline environments without the ``wheel`` package (which setuptools'
+PEP 660 editable builds require) can still do ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -8,11 +8,19 @@ Usage::
     python -m repro.cli e4-bismar --ops 40000
     python -m repro.cli fig1
     python -m repro.cli e5-behavior
+    python -m repro.cli scenarios
+    python -m repro.cli sweep --grid tolerance=0.2,0.4 --jobs 4 --out results/
 
-Each command builds the matching platform preset, runs the experiment
-harness, and prints the same table the paper's evaluation reports (plus the
-measured claim lines). This is the no-pytest path to the results; the
-benchmark suite wraps the same functions with assertions.
+Each experiment command builds the matching platform preset, runs the
+experiment harness, and prints the same table the paper's evaluation
+reports (plus the measured claim lines). This is the no-pytest path to the
+results; the benchmark suite wraps the same functions with assertions.
+
+``sweep`` runs the declarative scenario registry instead: it expands the
+``--grid`` axes over every registered (or ``--scenario``-selected)
+scenario, fans the runs out over ``--jobs`` worker processes with
+deterministic per-run seeds, and writes aggregated JSON/CSV result tables
+to ``--out``.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable, Dict
+
+from repro.common.errors import ConfigError
 
 
 def _e1_g5k(args) -> None:
@@ -97,6 +107,33 @@ def _e5_behavior(args) -> None:
     print(res.table())
 
 
+def _scenarios(args) -> None:
+    from repro.experiments import scenarios
+
+    for name in scenarios.names():
+        spec = scenarios.get(name)
+        defaults = " ".join(f"{k}={v}" for k, v in sorted(spec.defaults.items()))
+        print(f"{name:22s} {spec.description}  [{defaults}]")
+
+
+def _sweep(args) -> None:
+    from repro.experiments.sweep import SweepRunner, parse_grid, plan_sweep
+
+    grid = parse_grid(args.grid or [])
+    plan = plan_sweep(
+        scenario_names=args.scenario or None,
+        grid=grid,
+        root_seed=args.seed,
+        ops=args.ops,
+    )
+    print(f"sweep: {len(plan)} runs over {args.jobs} worker(s)")
+    result = SweepRunner(jobs=args.jobs).run(plan)
+    print(result.table().render())
+    if args.out:
+        paths = result.write(args.out)
+        print(f"wrote {paths['json']} and {paths['csv']}")
+
+
 COMMANDS: Dict[str, Callable] = {
     "e1-g5k": _e1_g5k,
     "e1-ec2": _e1_ec2,
@@ -105,6 +142,8 @@ COMMANDS: Dict[str, Callable] = {
     "e4-bismar": _e4_bismar,
     "e5-behavior": _e5_behavior,
     "fig1": _fig1,
+    "scenarios": _scenarios,
+    "sweep": _sweep,
 }
 
 
@@ -117,10 +156,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    helps = {
+        "scenarios": "list the registered sweep scenarios",
+        "sweep": "run registered scenarios over a parameter grid in parallel",
+    }
     for name in COMMANDS:
-        p = sub.add_parser(name, help=f"run experiment {name}")
+        p = sub.add_parser(name, help=helps.get(name, f"run experiment {name}"))
         p.add_argument("--ops", type=int, default=None, help="operation count")
         p.add_argument("--seed", type=int, default=11, help="root seed")
+        if name == "sweep":
+            p.add_argument(
+                "--scenario",
+                action="append",
+                default=None,
+                metavar="NAME",
+                help="scenario to run (repeatable; default: all registered)",
+            )
+            p.add_argument(
+                "--grid",
+                action="append",
+                default=None,
+                metavar="KEY=V1,V2",
+                help="sweep axis (repeatable), e.g. --grid tolerance=0.2,0.4",
+            )
+            p.add_argument(
+                "--jobs", type=int, default=1, help="worker process count"
+            )
+            p.add_argument(
+                "--out", default=None, metavar="DIR",
+                help="directory for results.json / results.csv",
+            )
     return parser
 
 
@@ -131,7 +196,13 @@ def main(argv=None) -> int:
         for name in COMMANDS:
             print(name)
         return 0
-    COMMANDS[args.command](args)
+    try:
+        COMMANDS[args.command](args)
+    except ConfigError as exc:
+        # User-input problems (bad --grid axis, unknown scenario, --jobs 0)
+        # deserve the message, not the traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -34,6 +34,27 @@ class FailureInjector:
                 raise ConfigError(f"duration must be positive, got {duration}")
             self.store.sim.schedule_at(at + duration, self._do_recover, node_id)
 
+    def crash_storm(
+        self,
+        node_ids,
+        start: float,
+        interval: float,
+        downtime: float,
+    ) -> None:
+        """Crash the given nodes one after another, ``interval`` apart.
+
+        Each node stays down for ``downtime`` seconds before recovering (with
+        hint replay), so the storm rolls through the cluster rather than
+        taking it out wholesale -- the shape the scenario registry's
+        ``node-failure-storm`` sweeps use.
+        """
+        if interval <= 0 or downtime <= 0:
+            raise ConfigError("interval and downtime must be positive")
+        t = start
+        for node_id in node_ids:
+            self.crash_node(node_id, at=t, duration=downtime)
+            t += interval
+
     def _do_crash(self, node_id: int) -> None:
         self.store.nodes[node_id].crash()
         self.log.append((self.store.sim.now, f"crash node {node_id}"))

@@ -7,6 +7,8 @@ all reports look alike and EXPERIMENTS.md can paste them verbatim.
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Any, Iterable, List, Sequence
 
 __all__ = ["Table", "format_float"]
@@ -65,6 +67,19 @@ class Table:
         out.extend(line(r) for r in self.rows)
         out.append(rule)
         return "\n".join(out)
+
+    def to_csv(self) -> str:
+        """Return the table as CSV text (header + rows, no title line).
+
+        Cells were already formatted by :func:`format_float` on ``add_row``,
+        so the CSV is byte-stable for identical inputs -- the sweep runner
+        relies on that for its determinism guarantee.
+        """
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(self.header)
+        writer.writerows(self.rows)
+        return buf.getvalue()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.render()

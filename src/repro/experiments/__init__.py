@@ -15,11 +15,16 @@ in ``benchmarks/`` are thin wrappers around these):
   samples and the Bismar evaluation (§IV-B, second set);
 - :mod:`repro.experiments.model_eval` -- FIG1: staleness-model validation,
   and E5: the behavior-modeling evaluation (the paper lists it as future
-  work; built here as the natural extension).
+  work; built here as the natural extension);
+- :mod:`repro.experiments.scenarios` -- the declarative scenario registry
+  (workload x topology x policy x failure-injection recipes);
+- :mod:`repro.experiments.sweep` -- grid expansion and the multiprocess
+  sweep runner behind ``repro sweep``.
 """
 
 from repro.experiments.platforms import (
     Platform,
+    single_dc_platform,
     ec2_harmony_platform,
     grid5000_harmony_platform,
     ec2_cost_platform,
@@ -27,25 +32,30 @@ from repro.experiments.platforms import (
 )
 from repro.experiments.runner import (
     PolicyFactory,
+    RunOutcome,
     static_factory,
     harmony_factory,
     bismar_factory,
     rationing_factory,
     rwratio_factory,
+    deploy_and_run,
     run_one,
 )
 
 __all__ = [
     "Platform",
+    "single_dc_platform",
     "ec2_harmony_platform",
     "grid5000_harmony_platform",
     "ec2_cost_platform",
     "grid5000_bismar_platform",
     "PolicyFactory",
+    "RunOutcome",
     "static_factory",
     "harmony_factory",
     "bismar_factory",
     "rationing_factory",
     "rwratio_factory",
+    "deploy_and_run",
     "run_one",
 ]

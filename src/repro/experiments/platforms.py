@@ -22,7 +22,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.cluster.node import ServiceModel
-from repro.cluster.replication import NetworkTopologyStrategy, ReplicationStrategy
+from repro.cluster.replication import (
+    NetworkTopologyStrategy,
+    ReplicationStrategy,
+    SimpleStrategy,
+)
 from repro.cluster.store import ReplicatedStore, StoreConfig
 from repro.cost.pricing import EC2_US_EAST_2013, FREE_PRIVATE_CLOUD, PriceBook
 from repro.net.latency import LogNormalLatency
@@ -31,6 +35,7 @@ from repro.simcore.simulator import Simulator
 
 __all__ = [
     "Platform",
+    "single_dc_platform",
     "ec2_harmony_platform",
     "grid5000_harmony_platform",
     "ec2_cost_platform",
@@ -98,6 +103,28 @@ def _g5k_latencies() -> Dict[LinkClass, LogNormalLatency]:
         LinkClass.INTRA_DC: LogNormalLatency.from_mean_cv(0.00020, 0.3),
         LinkClass.INTER_REGION: LogNormalLatency.from_mean_cv(0.009, 0.5),
     }
+
+
+def single_dc_platform(scale: float = 1.0) -> Platform:
+    """A single-datacenter baseline deployment: 12 nodes, RF=3, LAN only.
+
+    Not a paper platform -- the control case the scenario sweeps use to
+    separate WAN-replication effects from local quorum dynamics. Priced
+    like Grid'5000 (electricity+amortization proxy).
+    """
+    return Platform(
+        name="single-dc",
+        topology_factory=lambda: Topology(
+            [Datacenter("local", "local-region")],
+            [12],
+            latency={LinkClass.INTRA_DC: LogNormalLatency.from_mean_cv(0.00025, 0.4)},
+        ),
+        strategy_factory=lambda: SimpleStrategy(rf=3),
+        prices=FREE_PRIVATE_CLOUD,
+        default_record_count=int(1000 * scale),
+        default_ops=int(30_000 * scale),
+        default_clients=32,
+    )
 
 
 def ec2_harmony_platform(scale: float = 1.0) -> Platform:

@@ -5,6 +5,13 @@ attach monitors to the store before returning the policy; :func:`run_one`
 builds the deployment from a platform preset, runs the workload with
 warmup, and returns the run report together with the measurement-phase
 bill.
+
+:func:`deploy_and_run` is the lower-level entry the scenario-sweep
+subsystem uses: same build-run-bill sequence, but it also accepts a
+*failure script* (a callable that schedules crashes/partitions on a
+:class:`~repro.cluster.failures.FailureInjector` before the workload
+starts) and returns the policy and store alongside the report so callers
+can read adaptive-policy timelines after the run.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.cluster.consistency import ConsistencyLevel, LevelSpec
+from repro.cluster.failures import FailureInjector
 from repro.cluster.store import ReplicatedStore
 from repro.cost.billing import Bill, Biller
 from repro.cost.estimator import CostEstimator
@@ -29,17 +37,24 @@ from repro.workload.workloads import WorkloadSpec, heavy_read_update
 
 __all__ = [
     "PolicyFactory",
+    "FailureScript",
+    "RunOutcome",
     "static_factory",
     "harmony_factory",
     "bismar_factory",
     "rationing_factory",
     "rwratio_factory",
+    "deploy_and_run",
     "run_one",
 ]
 
 #: A policy factory receives the freshly built store (so it can attach
 #: monitors/listeners) and returns the policy the clients will consult.
 PolicyFactory = Callable[[ReplicatedStore], ConsistencyPolicy]
+
+#: A failure script receives a fresh injector bound to the deployment and
+#: schedules whatever crashes/partitions the scenario calls for.
+FailureScript = Callable[[FailureInjector], None]
 
 
 def static_factory(
@@ -125,7 +140,22 @@ def rwratio_factory(threshold: float = 4.0) -> PolicyFactory:
     return build
 
 
-def run_one(
+@dataclass
+class RunOutcome:
+    """Everything one deployment run produced.
+
+    ``policy`` and ``store`` are the live objects from the run, so adaptive
+    policies can be asked for their decision timelines
+    (``policy.level_time_fractions()``) and the store for post-run summaries.
+    """
+
+    report: RunReport
+    bill: Bill
+    policy: ConsistencyPolicy
+    store: ReplicatedStore
+
+
+def deploy_and_run(
     platform: Platform,
     policy_factory: PolicyFactory,
     spec: Optional[WorkloadSpec] = None,
@@ -134,16 +164,20 @@ def run_one(
     seed: int = 11,
     warmup_fraction: float = 0.2,
     target_throughput: Optional[float] = None,
-) -> Tuple[RunReport, Bill]:
-    """One full experiment run on a fresh deployment.
+    failure_script: Optional[FailureScript] = None,
+) -> RunOutcome:
+    """One full experiment run on a fresh deployment, with failure injection.
 
-    Returns the run report and the bill covering exactly the measurement
-    phase (post-warmup).
+    The failure script (if any) is invoked with an injector bound to the new
+    store *before* the workload starts, so crash/partition times are relative
+    to the beginning of the run.
     """
     sim, store = platform.build(seed=seed)
     policy = policy_factory(store)
     workload = spec or heavy_read_update(record_count=platform.default_record_count)
     biller = Biller(store, platform.prices, workload.data_size_bytes())
+    if failure_script is not None:
+        failure_script(FailureInjector(store))
     runner = WorkloadRunner(
         store,
         workload,
@@ -156,4 +190,34 @@ def run_one(
         biller=biller,
     )
     report = runner.run()
-    return report, biller.bill()
+    return RunOutcome(report=report, bill=biller.bill(), policy=policy, store=store)
+
+
+def run_one(
+    platform: Platform,
+    policy_factory: PolicyFactory,
+    spec: Optional[WorkloadSpec] = None,
+    ops: Optional[int] = None,
+    clients: Optional[int] = None,
+    seed: int = 11,
+    warmup_fraction: float = 0.2,
+    target_throughput: Optional[float] = None,
+    failure_script: Optional[FailureScript] = None,
+) -> Tuple[RunReport, Bill]:
+    """One full experiment run on a fresh deployment.
+
+    Returns the run report and the bill covering exactly the measurement
+    phase (post-warmup).
+    """
+    outcome = deploy_and_run(
+        platform,
+        policy_factory,
+        spec=spec,
+        ops=ops,
+        clients=clients,
+        seed=seed,
+        warmup_fraction=warmup_fraction,
+        target_throughput=target_throughput,
+        failure_script=failure_script,
+    )
+    return outcome.report, outcome.bill

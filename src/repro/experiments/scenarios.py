@@ -1,0 +1,397 @@
+"""Declarative scenario registry: named workload x topology x policy recipes.
+
+A :class:`ScenarioSpec` composes the four experiment axes --
+
+- a *platform* (topology + replica placement + price book),
+- a *workload* (mix, skew, population),
+- a *consistency policy* (static, Harmony, Bismar, baselines),
+- an optional *failure script* (crashes/partitions on the run's clock)
+
+-- into one named, parameterized recipe. Parameters declared in
+``defaults`` are sweepable: the sweep runner expands ``--grid`` values over
+them and every factory callable receives the resolved parameter mapping.
+
+The module-level :data:`REGISTRY` is pre-populated with a diverse set of
+scenarios (single-DC control, geo-replication, flash crowd, diurnal
+traffic, failure storms, hot-key skew, cost-capped Bismar, and a
+Harmony-vs-static shootout). Adding a scenario is a
+:func:`register` call with ~30 lines of factories -- no new script needed.
+
+Examples
+--------
+>>> from repro.experiments import scenarios
+>>> spec = scenarios.get("geo-replication")
+>>> sorted(spec.defaults)
+['tolerance']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.failures import FailureInjector
+from repro.cost.pricing import EC2_US_EAST_2013
+from repro.experiments.platforms import (
+    Platform,
+    ec2_harmony_platform,
+    grid5000_bismar_platform,
+    grid5000_harmony_platform,
+    single_dc_platform,
+)
+from repro.experiments.runner import (
+    PolicyFactory,
+    bismar_factory,
+    deploy_and_run,
+    harmony_factory,
+    static_factory,
+)
+from repro.workload.client import RunReport
+from repro.workload.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    flash_crowd,
+    heavy_read_update,
+    read_mostly_latest,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioRun",
+    "REGISTRY",
+    "register",
+    "get",
+    "names",
+]
+
+#: Resolved sweep parameters, as passed to every scenario factory callable.
+Params = Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named experiment recipe with sweepable parameters.
+
+    Attributes
+    ----------
+    name / description:
+        Registry key and one-line summary (shown by ``repro scenarios``).
+    platform:
+        Zero-argument platform preset factory.
+    policy:
+        ``params -> PolicyFactory``; the returned factory is applied to the
+        freshly built store as in :func:`repro.experiments.runner.run_one`.
+    workload:
+        ``params -> WorkloadSpec``, or ``None`` for the platform's default
+        heavy read-update mix.
+    failures:
+        ``(injector, params) -> None``; schedules the scenario's failure
+        script before the workload starts. ``None`` = healthy cluster.
+    defaults:
+        The sweepable parameters and their default values. Grid overrides
+        for keys *not* listed here are ignored for this scenario (so one
+        grid can sweep a heterogeneous scenario set).
+    pacing:
+        ``params -> offered ops/sec`` cap, or ``None`` for max offered load.
+    ops / clients:
+        Run scale; ``None`` falls back to the platform defaults.
+    """
+
+    name: str
+    description: str
+    platform: Callable[[], Platform]
+    policy: Callable[[Params], PolicyFactory]
+    workload: Optional[Callable[[Params], WorkloadSpec]] = None
+    failures: Optional[Callable[[FailureInjector, Params], None]] = None
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    pacing: Optional[Callable[[Params], float]] = None
+    ops: Optional[int] = None
+    clients: Optional[int] = None
+    tags: Tuple[str, ...] = ()
+
+    def resolve_params(self, overrides: Optional[Params] = None) -> Dict[str, Any]:
+        """Defaults merged with the overrides this scenario declares.
+
+        Unknown override keys are dropped, not rejected: a sweep grid is
+        applied across all registered scenarios at once, and each scenario
+        picks out the axes it declares in ``defaults``.
+        """
+        params = dict(self.defaults)
+        for key, value in (overrides or {}).items():
+            if key in params:
+                params[key] = value
+        return params
+
+    def run(
+        self,
+        seed: int = 11,
+        overrides: Optional[Params] = None,
+        ops: Optional[int] = None,
+    ) -> "ScenarioRun":
+        """Execute one deployment of this scenario and collect its metrics."""
+        params = self.resolve_params(overrides)
+        spec = self.workload(params) if self.workload is not None else None
+        failure_script = None
+        if self.failures is not None:
+            fail = self.failures
+
+            def failure_script(injector: FailureInjector) -> None:
+                fail(injector, params)
+
+        outcome = deploy_and_run(
+            self.platform(),
+            self.policy(params),
+            spec=spec,
+            ops=ops if ops is not None else self.ops,
+            clients=self.clients,
+            seed=seed,
+            target_throughput=self.pacing(params) if self.pacing else None,
+            failure_script=failure_script,
+        )
+        fractions_fn = getattr(outcome.policy, "level_time_fractions", None)
+        level_fractions = fractions_fn() if callable(fractions_fn) else {}
+        return ScenarioRun(
+            scenario=self.name,
+            params=params,
+            seed=seed,
+            report=outcome.report,
+            cost_total=outcome.bill.total,
+            cost_per_kop=outcome.bill.cost_per_kop,
+            level_fractions={str(k): float(v) for k, v in level_fractions.items()},
+        )
+
+
+@dataclass
+class ScenarioRun:
+    """One completed scenario run, flattened for aggregation."""
+
+    scenario: str
+    params: Dict[str, Any]
+    seed: int
+    report: RunReport
+    cost_total: float
+    cost_per_kop: float
+    #: Fraction of policy decisions spent at each read level -- the compact
+    #: consistency-level timeline adaptive engines expose (empty for static).
+    level_fractions: Dict[str, float]
+
+    def metrics(self) -> Dict[str, Any]:
+        """The per-run result row (plain python scalars, JSON-safe)."""
+        rep = self.report
+        return {
+            "policy": rep.policy,
+            "workload": rep.workload,
+            "ops_completed": int(rep.ops_completed),
+            "duration_s": float(rep.duration),
+            "throughput_ops_s": float(rep.throughput),
+            "read_latency_mean_ms": float(rep.read_latency_mean * 1e3),
+            "read_latency_p99_ms": float(rep.read_latency_p99 * 1e3),
+            "write_latency_mean_ms": float(rep.write_latency_mean * 1e3),
+            "write_latency_p99_ms": float(rep.write_latency_p99 * 1e3),
+            "stale_rate": float(rep.stale_rate),
+            "stale_rate_strict": float(rep.stale_rate_strict),
+            "cost_total_usd": float(self.cost_total),
+            "cost_per_kop_usd": float(self.cost_per_kop),
+            "read_levels": {k: int(v) for k, v in sorted(rep.read_levels.items())},
+            "level_fractions": dict(sorted(self.level_fractions.items())),
+        }
+
+
+# -- registry -----------------------------------------------------------------
+
+REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the registry (names must be unique)."""
+    if spec.name in REGISTRY:
+        raise ConfigError(f"scenario {spec.name!r} is already registered")
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> ScenarioSpec:
+    """Look up a scenario; unknown names list the alternatives."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; choose from {names()}"
+        ) from None
+
+
+def names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(REGISTRY)
+
+
+# -- the built-in scenarios ----------------------------------------------------
+
+
+def _harmony_policy(params: Params) -> PolicyFactory:
+    return harmony_factory(float(params["tolerance"]))
+
+
+def _shootout_policy(params: Params) -> PolicyFactory:
+    kind = str(params["policy"])
+    if kind == "harmony":
+        return harmony_factory(float(params["tolerance"]))
+    if kind == "eventual":
+        return static_factory(1, 1, name="eventual")
+    if kind == "strong":
+        return static_factory(
+            ConsistencyLevel.ALL, ConsistencyLevel.ALL, name="strong"
+        )
+    raise ConfigError(
+        f"unknown policy {kind!r}; choose from ['eventual', 'harmony', 'strong']"
+    )
+
+
+def _storm_script(injector: FailureInjector, params: Params) -> None:
+    n_nodes = len(injector.store.nodes)
+    count = min(int(params["crash_count"]), n_nodes - 1)
+    # Spread the crashes evenly around the ring so every storm run hits the
+    # same nodes at the same times regardless of sweep-process layout.
+    node_ids = [(i * n_nodes) // count for i in range(count)]
+    injector.crash_storm(
+        node_ids,
+        start=1.0,
+        interval=float(params["crash_interval"]),
+        downtime=float(params["downtime"]),
+    )
+
+
+register(
+    ScenarioSpec(
+        name="single-dc-ycsb-a",
+        description="Control case: YCSB-A on one LAN datacenter, Harmony adapting",
+        platform=single_dc_platform,
+        policy=_harmony_policy,
+        workload=lambda p: WORKLOADS["A"].scaled(800, name="ycsb-a"),
+        defaults={"tolerance": 0.3},
+        ops=4000,
+        clients=16,
+        tags=("ycsb", "single-dc"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="geo-replication",
+        description="Multi-DC Grid'5000 geo-replication under heavy read-update",
+        platform=grid5000_harmony_platform,
+        policy=_harmony_policy,
+        workload=lambda p: heavy_read_update(record_count=800),
+        defaults={"tolerance": 0.2},
+        ops=4000,
+        clients=16,
+        tags=("geo", "harmony"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="flash-crowd",
+        description="Flash crowd: 95% of ops slam a 5% hot key set on EC2",
+        platform=ec2_harmony_platform,
+        policy=_harmony_policy,
+        workload=lambda p: flash_crowd(
+            record_count=800, hot_set_fraction=float(p["hot_set_fraction"])
+        ),
+        defaults={"tolerance": 0.4, "hot_set_fraction": 0.05},
+        ops=4000,
+        clients=24,
+        tags=("skew", "burst"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="diurnal-traffic",
+        description="Diurnal feed traffic: read-mostly 'latest' mix paced off-peak",
+        platform=ec2_harmony_platform,
+        policy=_harmony_policy,
+        workload=lambda p: read_mostly_latest(record_count=800),
+        defaults={"tolerance": 0.4, "offered_load": 600.0},
+        pacing=lambda p: float(p["offered_load"]),
+        ops=4000,
+        clients=16,
+        tags=("paced", "reads"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="node-failure-storm",
+        description="Rolling node crashes sweeping a Grid'5000 cluster mid-run",
+        platform=grid5000_harmony_platform,
+        policy=_harmony_policy,
+        workload=lambda p: heavy_read_update(record_count=800),
+        failures=_storm_script,
+        defaults={
+            "tolerance": 0.2,
+            "crash_count": 4,
+            "crash_interval": 2.0,
+            "downtime": 3.0,
+        },
+        ops=4000,
+        clients=16,
+        tags=("failures",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="hot-key-skew",
+        description="Extreme zipfian-style hotspot contention on one datacenter",
+        platform=single_dc_platform,
+        policy=_harmony_policy,
+        workload=lambda p: WorkloadSpec(
+            name="hot-key-skew",
+            read_proportion=0.5,
+            update_proportion=0.5,
+            record_count=800,
+            distribution="hotspot",
+            distribution_kwargs={
+                "hot_set_fraction": 0.01,
+                "hot_opn_fraction": float(p["hot_opn_fraction"]),
+            },
+        ),
+        defaults={"tolerance": 0.3, "hot_opn_fraction": 0.9},
+        ops=4000,
+        clients=16,
+        tags=("skew",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="bismar-cost-capped",
+        description="Bismar cost-optimizing consistency under a stale-rate cap",
+        platform=grid5000_bismar_platform,
+        policy=lambda p: bismar_factory(
+            EC2_US_EAST_2013, stale_cap=float(p["stale_cap"])
+        ),
+        workload=lambda p: heavy_read_update(record_count=120),
+        defaults={"stale_cap": 0.3},
+        ops=4000,
+        clients=24,
+        tags=("cost", "bismar"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="harmony-vs-static",
+        description="Shootout: sweep policy in {eventual, harmony, strong} on EC2",
+        platform=ec2_harmony_platform,
+        policy=_shootout_policy,
+        workload=lambda p: heavy_read_update(record_count=800),
+        defaults={"policy": "harmony", "tolerance": 0.4},
+        ops=4000,
+        clients=16,
+        tags=("shootout",),
+    )
+)

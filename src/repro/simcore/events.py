@@ -20,7 +20,7 @@ class Event:
     skips it when popped (O(1) cancel, no heap surgery).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "live", "owner")
 
     def __init__(
         self,
@@ -28,20 +28,30 @@ class Event:
         seq: int,
         fn: Optional[Callable[..., Any]],
         args: Tuple[Any, ...] = (),
+        owner: Optional[Any] = None,
     ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: True while the event is scheduled and has neither fired nor been
+        #: cancelled; the owning simulator keeps a live-event counter in sync.
+        self.live = True
+        self.owner = owner
 
     def cancel(self) -> None:
         """Prevent this event from firing (no-op if it already fired)."""
+        if not self.live:
+            return
+        self.live = False
         self.cancelled = True
         # Drop references eagerly so cancelled events do not pin payloads
         # (messages, closures) in memory until they surface from the heap.
         self.fn = None
         self.args = ()
+        if self.owner is not None:
+            self.owner._event_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:

@@ -42,6 +42,7 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Event] = []
         self._seq: int = 0
+        self._live: int = 0
         self._running = False
         self._stop_requested = False
         self.events_processed: int = 0
@@ -74,9 +75,14 @@ class Simulator:
                 f"cannot schedule at t={time} < now={self.now}"
             )
         self._seq += 1
-        ev = Event(time, self._seq, fn, args)
+        ev = Event(time, self._seq, fn, args, owner=self)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
+
+    def _event_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` so ``pending()`` stays O(1)."""
+        self._live -= 1
 
     # -- execution ------------------------------------------------------------
 
@@ -91,6 +97,8 @@ class Simulator:
             fn, args = ev.fn, ev.args
             ev.fn = None  # break cycles; event objects may be retained by callers
             ev.args = ()
+            ev.live = False
+            self._live -= 1
             self.events_processed += 1
             fn(*args)  # type: ignore[misc]
             return True
@@ -123,6 +131,8 @@ class Simulator:
                 fn, args = ev.fn, ev.args
                 ev.fn = None
                 ev.args = ()
+                ev.live = False
+                self._live -= 1
                 self.events_processed += 1
                 fn(*args)  # type: ignore[misc]
                 if budget > 0:
@@ -135,8 +145,13 @@ class Simulator:
     # -- introspection ---------------------------------------------------------
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events in the queue.
+
+        O(1): a live-event counter is incremented on schedule and decremented
+        on fire/cancel, so monitors can poll this every tick without paying a
+        heap scan.
+        """
+        return self._live
 
     def peek_time(self) -> Optional[float]:
         """Firing time of the next live event, or ``None`` if idle."""
@@ -149,8 +164,12 @@ class Simulator:
         if self._running:
             raise SimulationError("cannot reset a running simulator")
         self.now = 0.0
+        for ev in self._heap:
+            ev.live = False
+            ev.owner = None
         self._heap.clear()
         self._seq = 0
+        self._live = 0
         self.events_processed = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

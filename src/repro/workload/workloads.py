@@ -20,7 +20,13 @@ from repro.common.errors import ConfigError
 from repro.common.rng import spawn_rng
 from repro.workload.distributions import KeyChooser, UniformChooser, make_chooser
 
-__all__ = ["WorkloadSpec", "WORKLOADS", "heavy_read_update"]
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOADS",
+    "heavy_read_update",
+    "flash_crowd",
+    "read_mostly_latest",
+]
 
 
 @dataclass
@@ -122,6 +128,51 @@ def heavy_read_update(
         record_count=record_count,
         value_size=value_size,
         distribution=distribution,
+    )
+
+
+def flash_crowd(
+    record_count: int = 1000,
+    value_size: int = 1000,
+    hot_set_fraction: float = 0.05,
+    hot_opn_fraction: float = 0.95,
+) -> WorkloadSpec:
+    """A flash-crowd mix: nearly all traffic slams a tiny hot key set.
+
+    Models the "everyone refreshes the same product page" regime -- a 70/30
+    read/update mix where ``hot_opn_fraction`` of operations hit the first
+    ``hot_set_fraction`` of keys. Contention on the hot set is what makes
+    adaptive consistency interesting here: per-key write rates are far above
+    what the global average suggests.
+    """
+    return WorkloadSpec(
+        name="flash-crowd",
+        read_proportion=0.7,
+        update_proportion=0.3,
+        record_count=record_count,
+        value_size=value_size,
+        distribution="hotspot",
+        distribution_kwargs={
+            "hot_set_fraction": hot_set_fraction,
+            "hot_opn_fraction": hot_opn_fraction,
+        },
+    )
+
+
+def read_mostly_latest(
+    record_count: int = 1000, value_size: int = 1000
+) -> WorkloadSpec:
+    """A diurnal-style mix: read-mostly with inserts skewed to recent keys.
+
+    YCSB-D's shape (95% reads, 5% inserts, ``latest`` distribution) -- the
+    "users read what was just written" pattern of feeds and timelines; the
+    diurnal scenario paces it to an off-peak offered load.
+    """
+    return replace(
+        WORKLOADS["D"],
+        name="read-mostly-latest",
+        record_count=record_count,
+        value_size=value_size,
     )
 
 

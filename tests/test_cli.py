@@ -22,6 +22,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_sweep_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--grid", "tolerance=0.2,0.4",
+                "--grid", "policy=strong",
+                "--scenario", "geo-replication",
+                "--jobs", "4",
+                "--out", "results",
+            ]
+        )
+        assert args.command == "sweep"
+        assert args.grid == ["tolerance=0.2,0.4", "policy=strong"]
+        assert args.scenario == ["geo-replication"]
+        assert args.jobs == 4
+        assert args.out == "results"
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -42,3 +59,35 @@ class TestMain:
         out = capsys.readouterr().out
         assert "FIG1" in out
         assert "simulator" in out
+
+    def test_sweep_bad_input_is_clean_error(self, capsys):
+        assert main(["sweep", "--grid", "tolerence=0.2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "tolerence" in err
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "geo-replication" in out
+        assert "node-failure-storm" in out
+
+    def test_sweep_small_run(self, capsys, tmp_path):
+        out_dir = tmp_path / "results"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario", "single-dc-ycsb-a",
+                    "--grid", "tolerance=0.2,0.4",
+                    "--jobs", "1",
+                    "--ops", "400",
+                    "--out", str(out_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep: 2 runs" in out
+        assert (out_dir / "results.json").exists()
+        assert (out_dir / "results.csv").exists()

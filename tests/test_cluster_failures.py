@@ -34,6 +34,23 @@ class TestHintStore:
 
 
 class TestFailureInjector:
+    def test_crash_storm_rolls_through_nodes(self, store):
+        inj = FailureInjector(store)
+        inj.crash_storm([0, 2, 4], start=1.0, interval=2.0, downtime=1.0)
+        store.sim.run(until=10.0)
+        crashes = [(t, e) for t, e in inj.log if e.startswith("crash")]
+        recoveries = [(t, e) for t, e in inj.log if e.startswith("recover")]
+        assert [t for t, _ in crashes] == [1.0, 3.0, 5.0]
+        assert [t for t, _ in recoveries] == [2.0, 4.0, 6.0]
+        assert all(store.nodes[n].up for n in (0, 2, 4))
+
+    def test_crash_storm_validates_timing(self, store):
+        inj = FailureInjector(store)
+        with pytest.raises(ConfigError):
+            inj.crash_storm([0], start=0.0, interval=0.0, downtime=1.0)
+        with pytest.raises(ConfigError):
+            inj.crash_storm([0], start=0.0, interval=1.0, downtime=-1.0)
+
     def test_crash_and_recover(self, store):
         inj = FailureInjector(store)
         inj.crash_node(0, at=1.0, duration=2.0)

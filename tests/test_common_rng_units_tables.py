@@ -126,6 +126,13 @@ class TestTables:
         with pytest.raises(ValueError):
             t.add_row([1])
 
+    def test_to_csv(self):
+        t = Table("title", ["name", "value"])
+        t.add_row(["x", 1.5])
+        t.add_row(["with,comma", 2])
+        out = t.to_csv()
+        assert out == 'name,value\nx,1.5\n"with,comma",2\n'
+
     def test_render_alignment(self):
         t = Table("title", ["name", "value"])
         t.add_row(["x", 1.5])

@@ -113,6 +113,28 @@ class TestSimulator:
         assert fired == [1]
         assert sim.step() is False
 
+    def test_pending_counter_tracks_cancel_and_fire(self, sim):
+        events = [sim.schedule(float(i), lambda: None) for i in range(4)]
+        assert sim.pending() == 4
+        events[1].cancel()
+        assert sim.pending() == 3
+        events[1].cancel()  # double-cancel must not double-decrement
+        assert sim.pending() == 3
+        sim.run()
+        assert sim.pending() == 0
+        events[2].cancel()  # cancel after firing is a no-op
+        assert sim.pending() == 0
+
+    def test_pending_counter_during_run(self, sim):
+        seen = []
+        later = sim.schedule(5.0, lambda: None)
+        sim.schedule(1.0, lambda: seen.append(sim.pending()))
+        sim.schedule(2.0, later.cancel)
+        sim.schedule(3.0, lambda: seen.append(sim.pending()))
+        sim.run()
+        # at t=1: the t=2, t=3 and t=5 events remain; at t=3: none.
+        assert seen == [3, 0]
+
     def test_reset(self, sim):
         sim.schedule(1.0, lambda: None)
         sim.run()

@@ -1,0 +1,168 @@
+"""Tests for the scenario registry and the parallel sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments import scenarios
+from repro.experiments.sweep import (
+    SweepJob,
+    SweepRunner,
+    derive_seed,
+    expand_grid,
+    parse_grid,
+    plan_sweep,
+)
+
+# Scale knob for the tests: enough ops to exercise warmup + measurement,
+# small enough that the whole module stays in the seconds range.
+TINY_OPS = 400
+
+
+class TestRegistry:
+    def test_at_least_eight_scenarios(self):
+        assert len(scenarios.names()) >= 8
+
+    def test_names_sorted_and_described(self):
+        got = scenarios.names()
+        assert got == sorted(got)
+        for name in got:
+            spec = scenarios.get(name)
+            assert spec.name == name
+            assert spec.description
+            assert isinstance(dict(spec.defaults), dict)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigError, match="choose from"):
+            scenarios.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        spec = scenarios.get("geo-replication")
+        with pytest.raises(ConfigError, match="already registered"):
+            scenarios.register(spec)
+
+    def test_resolve_params_ignores_undeclared_axes(self):
+        spec = scenarios.get("bismar-cost-capped")
+        params = spec.resolve_params({"tolerance": 0.4, "stale_cap": 0.2})
+        assert params == {"stale_cap": 0.2}
+
+    def test_scenario_run_produces_metrics(self):
+        run = scenarios.get("single-dc-ycsb-a").run(seed=3, ops=TINY_OPS)
+        m = run.metrics()
+        assert m["ops_completed"] > 0
+        assert m["throughput_ops_s"] > 0
+        assert m["policy"].startswith("harmony")
+        # Harmony exposes its decision timeline as level fractions.
+        assert abs(sum(m["level_fractions"].values()) - 1.0) < 1e-9
+
+    def test_failure_storm_scenario_runs(self):
+        run = scenarios.get("node-failure-storm").run(seed=3, ops=TINY_OPS)
+        assert run.report.ops_completed > 0
+
+
+class TestGrid:
+    def test_expand_grid_cartesian_canonical(self):
+        points = expand_grid({"b": [1, 2], "a": ["x", "y"]})
+        assert points == [
+            {"a": "x", "b": 1},
+            {"a": "x", "b": 2},
+            {"a": "y", "b": 1},
+            {"a": "y", "b": 2},
+        ]
+
+    def test_expand_grid_empty(self):
+        assert expand_grid({}) == [{}]
+
+    def test_expand_grid_rejects_empty_axis(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            expand_grid({"a": []})
+
+    def test_parse_grid_coerces_types(self):
+        grid = parse_grid(["tolerance=0.2,0.4", "crash_count=2,4", "policy=strong"])
+        assert grid == {
+            "tolerance": [0.2, 0.4],
+            "crash_count": [2, 4],
+            "policy": ["strong"],
+        }
+
+    def test_parse_grid_rejects_malformed(self):
+        with pytest.raises(ConfigError, match="key=v1,v2"):
+            parse_grid(["tolerance"])
+
+    def test_parse_grid_rejects_duplicate_axis(self):
+        with pytest.raises(ConfigError, match="given twice"):
+            parse_grid(["tolerance=0.2", "tolerance=0.4"])
+
+
+class TestPlan:
+    def test_seed_depends_only_on_identity(self):
+        a = derive_seed(11, "s", {"x": 1})
+        assert a == derive_seed(11, "s", {"x": 1})
+        assert a != derive_seed(12, "s", {"x": 1})
+        assert a != derive_seed(11, "t", {"x": 1})
+        assert a != derive_seed(11, "s", {"x": 2})
+
+    def test_plan_filters_axes_per_scenario(self):
+        plan = plan_sweep(
+            scenario_names=["geo-replication", "bismar-cost-capped"],
+            grid={"tolerance": [0.2, 0.4]},
+        )
+        by_scenario = {}
+        for job in plan:
+            by_scenario.setdefault(job.scenario, []).append(job)
+        # geo-replication declares tolerance -> 2 runs; bismar does not -> 1.
+        assert len(by_scenario["geo-replication"]) == 2
+        assert len(by_scenario["bismar-cost-capped"]) == 1
+
+    def test_plan_covers_all_scenarios_by_default(self):
+        plan = plan_sweep(grid={"tolerance": [0.2, 0.4]})
+        assert {job.scenario for job in plan} == set(scenarios.names())
+
+    def test_plan_rejects_axis_no_scenario_declares(self):
+        with pytest.raises(ConfigError, match="tolerence"):
+            plan_sweep(grid={"tolerence": [0.2]})  # typo must not sweep nothing
+
+    def test_plan_order_is_canonical(self):
+        grid = {"tolerance": [0.4, 0.2]}
+        a = plan_sweep(scenario_names=["geo-replication", "flash-crowd"], grid=grid)
+        b = plan_sweep(scenario_names=["flash-crowd", "geo-replication"], grid=grid)
+        assert a == b
+
+
+class TestSweepDeterminism:
+    PLAN_KW = dict(
+        scenario_names=["single-dc-ycsb-a", "geo-replication"],
+        grid={"tolerance": [0.2, 0.4]},
+        root_seed=7,
+        ops=TINY_OPS,
+    )
+
+    def test_repeat_runs_byte_identical(self):
+        plan = plan_sweep(**self.PLAN_KW)
+        first = SweepRunner(jobs=1).run(plan)
+        second = SweepRunner(jobs=1).run(plan)
+        assert first.to_json() == second.to_json()
+        assert first.to_csv() == second.to_csv()
+
+    def test_parallel_matches_serial_byte_identical(self):
+        plan = plan_sweep(**self.PLAN_KW)
+        serial = SweepRunner(jobs=1).run(plan)
+        parallel = SweepRunner(jobs=4).run(plan)
+        assert serial.to_json() == parallel.to_json()
+        assert serial.to_csv() == parallel.to_csv()
+
+    def test_write_outputs(self, tmp_path):
+        plan = plan_sweep(
+            scenario_names=["single-dc-ycsb-a"], root_seed=7, ops=TINY_OPS
+        )
+        result = SweepRunner(jobs=1).run(plan)
+        paths = result.write(str(tmp_path / "results"))
+        assert (tmp_path / "results" / "results.json").read_text() == result.to_json()
+        csv_text = (tmp_path / "results" / "results.csv").read_text()
+        assert csv_text.splitlines()[0].startswith("scenario,params,policy")
+        assert paths["json"].endswith("results.json")
+
+    def test_jobs_validated(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(jobs=0)
