@@ -1,0 +1,63 @@
+"""Benchmarks for the transaction subsystem.
+
+Tracks (a) the engine cost of the 2PC machinery itself -- a closed-loop
+transactional run on a single-DC deployment, where a timing regression
+means the prepare/vote/decide/ack path grew extra work -- and (b) the
+txn-vs-consistency shootout table (commit latency, abort and anomaly
+rates per read-level policy), persisted like every other bench artifact.
+"""
+
+from repro.common.tables import Table
+from repro.experiments.platforms import ec2_harmony_platform, single_dc_platform
+from repro.experiments.runner import named_policy_factory
+from repro.txn.runner import deploy_and_run_txn
+from repro.workload.workloads import bank_transfer_mix
+
+BENCH_TXNS = 1500
+
+
+def test_txn_engine_throughput(benchmark):
+    platform = single_dc_platform()
+
+    def run():
+        return deploy_and_run_txn(
+            platform,
+            named_policy_factory("eventual"),
+            bank_transfer_mix(record_count=800),
+            txns=BENCH_TXNS,
+            clients=16,
+            seed=11,
+        )
+
+    outcome = benchmark(run)
+    txn = outcome.report.txn
+    assert txn["txns"] == int(BENCH_TXNS * 0.8)  # post-warmup population
+    assert txn["commits"] > 0
+
+
+def test_txn_policy_shootout(record_table):
+    spec = bank_transfer_mix(record_count=2000)
+    factories = [
+        (name, named_policy_factory(name))
+        for name in ("eventual", "quorum", "strong", "harmony")
+    ]
+    table = Table(
+        "atomic bank transfers under 2PC, two EC2 AZs",
+        ["policy", "commits", "aborts", "lost_updates", "stale_rate", "commit_p99_ms"],
+    )
+    for label, factory in factories:
+        outcome = deploy_and_run_txn(
+            ec2_harmony_platform(), factory, spec, txns=1200, clients=16, seed=11
+        )
+        t = outcome.report.txn
+        table.add_row(
+            [
+                label,
+                t["commits"],
+                sum(t["aborts"].values()),
+                t["lost_updates"],
+                f"{outcome.report.stale_rate:.4f}",
+                f"{t['commit_latency_p99_ms']:.2f}",
+            ]
+        )
+    record_table("txn_shootout", table.render())

@@ -10,6 +10,8 @@ substrate they need, built from scratch:
   tunable per-operation consistency (:mod:`repro.cluster`,
   :mod:`repro.simcore`, :mod:`repro.net`);
 - a YCSB-compatible workload generator (:mod:`repro.workload`);
+- atomic multi-key transactions: presumed-abort 2PC, per-node write-ahead
+  logs and crash recovery over the same store (:mod:`repro.txn`);
 - a probabilistic stale-read model validated three ways
   (:mod:`repro.stale`);
 - an EC2-style three-part billing model (:mod:`repro.cost`);
@@ -41,7 +43,15 @@ from repro.harmony import HarmonyEngine
 from repro.bismar import BismarEngine
 from repro.cost import PriceBook, EC2_US_EAST_2013, Biller, CostEstimator
 from repro.behavior import BehaviorModel, BehaviorPolicy
-from repro.workload import WorkloadRunner, WorkloadSpec, WORKLOADS, heavy_read_update
+from repro.txn import TransactionalStore, TxnConfig, TxnRunner
+from repro.workload import (
+    WorkloadRunner,
+    WorkloadSpec,
+    WORKLOADS,
+    heavy_read_update,
+    TxnWorkloadSpec,
+    bank_transfer_mix,
+)
 
 __version__ = "1.0.0"
 
@@ -75,5 +85,10 @@ __all__ = [
     "WorkloadSpec",
     "WORKLOADS",
     "heavy_read_update",
+    "TransactionalStore",
+    "TxnConfig",
+    "TxnRunner",
+    "TxnWorkloadSpec",
+    "bank_transfer_mix",
     "__version__",
 ]

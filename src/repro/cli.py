@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli fig1
     python -m repro.cli e5-behavior
     python -m repro.cli scenarios
+    python -m repro.cli txn --mix bank-transfer --policy all
     python -m repro.cli sweep --grid tolerance=0.2,0.4 --jobs 4 --out results/
 
 Each experiment command builds the matching platform preset, runs the
@@ -116,6 +117,67 @@ def _scenarios(args) -> None:
         print(f"{name:22s} {spec.description}  [{defaults}]")
 
 
+def _txn(args) -> None:
+    from dataclasses import replace
+
+    from repro.common.tables import Table
+    from repro.experiments.platforms import ec2_harmony_platform
+    from repro.experiments.runner import named_policy_factory
+    from repro.txn.runner import deploy_and_run_txn
+    from repro.workload.workloads import TXN_WORKLOADS
+
+    try:
+        spec = TXN_WORKLOADS[args.mix].scaled(2000)
+    except KeyError:
+        raise ConfigError(
+            f"unknown mix {args.mix!r}; choose from {sorted(TXN_WORKLOADS)}"
+        ) from None
+    if spec.distribution == "zipfian":
+        # YCSB's theta=0.99 keeps the hottest keys permanently prepare-locked
+        # at this concurrency; temper the skew so the table shows policy
+        # differences rather than wall-to-wall lock conflicts.
+        spec = replace(spec, distribution_kwargs={"theta": 0.6})
+    names = ["eventual", "quorum", "strong", "harmony"]
+    selected = names if args.policy == "all" else [args.policy]
+    factories = {name: named_policy_factory(name) for name in selected}
+
+    txns = args.ops if args.ops is not None else 2000
+    table = Table(
+        f"atomic {spec.name} transactions, 2PC over two EC2 AZs ({txns} txns)",
+        [
+            "policy",
+            "commits",
+            "aborts",
+            "abort_rate",
+            "lost_updates",
+            "stale_rate",
+            "commit_p50_ms",
+            "commit_p99_ms",
+        ],
+    )
+    for name, factory in factories.items():
+        outcome = deploy_and_run_txn(
+            ec2_harmony_platform(), factory, spec, txns=txns,
+            clients=min(16, txns),
+            seed=args.seed,
+        )
+        t = outcome.report.txn
+        lat = outcome.tstore.commit_latency
+        table.add_row(
+            [
+                outcome.report.policy,
+                t["commits"],
+                sum(t["aborts"].values()),
+                f"{t['abort_rate']:.3f}",
+                t["lost_updates"],
+                f"{outcome.report.stale_rate:.4f}",
+                f"{lat.percentile(50) * 1e3:.2f}",
+                f"{t['commit_latency_p99_ms']:.2f}",
+            ]
+        )
+    print(table.render())
+
+
 def _sweep(args) -> None:
     from repro.experiments.sweep import SweepRunner, parse_grid, plan_sweep
 
@@ -143,6 +205,7 @@ COMMANDS: Dict[str, Callable] = {
     "e5-behavior": _e5_behavior,
     "fig1": _fig1,
     "scenarios": _scenarios,
+    "txn": _txn,
     "sweep": _sweep,
 }
 
@@ -158,12 +221,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
     helps = {
         "scenarios": "list the registered sweep scenarios",
+        "txn": "run an atomic multi-key transaction mix under 2PC",
         "sweep": "run registered scenarios over a parameter grid in parallel",
     }
     for name in COMMANDS:
         p = sub.add_parser(name, help=helps.get(name, f"run experiment {name}"))
         p.add_argument("--ops", type=int, default=None, help="operation count")
         p.add_argument("--seed", type=int, default=11, help="root seed")
+        if name == "txn":
+            p.add_argument(
+                "--mix",
+                default="bank-transfer",
+                metavar="NAME",
+                help="transaction mix: bank-transfer, read-modify-write, "
+                "order-checkout",
+            )
+            p.add_argument(
+                "--policy",
+                default="all",
+                metavar="NAME",
+                help="read-level policy: eventual, quorum, strong, harmony, "
+                "or all (compare)",
+            )
         if name == "sweep":
             p.add_argument(
                 "--scenario",

@@ -73,6 +73,7 @@ class OpResult:
         "replicas_contacted",
         "ack_delays",
         "value_size",
+        "version",
     )
 
     def __init__(self, kind: str, key: str, t_start: float, level_label: str):
@@ -89,6 +90,9 @@ class OpResult:
         #: (writes only) -- the monitor's observable proxy for propagation time.
         self.ack_delays: Optional[List[float]] = None
         self.value_size = 0
+        #: merged version a read returned (``None`` for writes / missing keys);
+        #: transactional reads record it for commit-time validation.
+        self.version: Optional[Version] = None
 
     @property
     def latency(self) -> float:
@@ -401,6 +405,7 @@ class Coordinator:
             op.result.t_end = st.sim.now
             op.result.ok = True
             op.result.value_size = op.best.size if op.best is not None else 0
+            op.result.version = op.best
             op.result.stale = st.oracle.note_read(op.expected, op.best)
             op.done_cb(op.result)
 

@@ -56,7 +56,9 @@ class FailureInjector:
             t += interval
 
     def _do_crash(self, node_id: int) -> None:
-        self.store.nodes[node_id].crash()
+        # Route through the store so node listeners (e.g. the transaction
+        # subsystem wiping volatile 2PC state) observe the crash.
+        self.store.on_node_crash(node_id)
         self.log.append((self.store.sim.now, f"crash node {node_id}"))
 
     def _do_recover(self, node_id: int) -> None:

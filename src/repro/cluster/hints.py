@@ -10,7 +10,8 @@ after failure-injection experiments).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Tuple
 
 from repro.cluster.versions import Version
 
@@ -23,21 +24,29 @@ class HintStore:
     The simulator keeps one logical store rather than per-coordinator ones;
     the behaviour (hints replayed to the recovered node after its recovery,
     paid as network traffic) is identical and the accounting simpler.
+
+    Each target node's buffer is capped at ``max_hints_per_node``. The cap
+    evicts **oldest first** (as Cassandra's bounded hint window does: the
+    hints most likely to be superseded go first), and every eviction is
+    counted in ``dropped`` -- a node that overflows its hint budget is a
+    node whose post-recovery state needs anti-entropy repair, so the
+    counter is an operational signal, not just bookkeeping.
     """
 
     def __init__(self, max_hints_per_node: int = 100_000):
         self.max_hints_per_node = int(max_hints_per_node)
-        self._hints: Dict[int, List[Tuple[str, Version]]] = {}
+        self._hints: Dict[int, Deque[Tuple[str, Version]]] = {}
         self.stored = 0
         self.replayed = 0
-        self.overflowed = 0
+        #: hints evicted (oldest-first) because a target's buffer was full.
+        self.dropped = 0
 
     def add(self, target_node: int, key: str, version: Version) -> None:
-        """Buffer a mutation for a down replica."""
-        bucket = self._hints.setdefault(target_node, [])
+        """Buffer a mutation for a down replica (evicting oldest when full)."""
+        bucket = self._hints.setdefault(target_node, deque())
         if len(bucket) >= self.max_hints_per_node:
-            self.overflowed += 1
-            return
+            bucket.popleft()
+            self.dropped += 1
         bucket.append((key, version))
         self.stored += 1
 
@@ -47,12 +56,12 @@ class HintStore:
 
     def drain(self, target_node: int) -> List[Tuple[str, Version]]:
         """Remove and return all hints buffered for ``target_node``."""
-        hints = self._hints.pop(target_node, [])
+        hints = list(self._hints.pop(target_node, ()))
         self.replayed += len(hints)
         return hints
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"HintStore(stored={self.stored}, replayed={self.replayed}, "
-            f"overflowed={self.overflowed})"
+            f"dropped={self.dropped})"
         )

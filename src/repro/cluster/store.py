@@ -158,6 +158,7 @@ class ReplicatedStore:
         self._written_keys: List[str] = []
         self._written_set: set = set()
         self._listeners: List[Any] = []
+        self._node_listeners: List[Any] = []
 
     # -- client API --------------------------------------------------------------
 
@@ -204,34 +205,71 @@ class ReplicatedStore:
         """
         self._listeners.append(listener)
 
+    def add_node_listener(self, listener: Any) -> None:
+        """Register an observer of node lifecycle events.
+
+        Node listeners may implement ``on_node_crash(node_id)`` and
+        ``on_node_recover(node_id)``; the transaction subsystem uses these
+        to wipe volatile 2PC state on crash and run WAL recovery on
+        restart.
+        """
+        self._node_listeners.append(listener)
+
     def _notify_propagated(self, result) -> None:
         for listener in self._listeners:
             hook = getattr(listener, "on_write_propagated", None)
             if hook is not None:
                 hook(result)
 
+    def _notify_node_event(self, event: str, node_id: int) -> None:
+        for listener in self._node_listeners:
+            hook = getattr(listener, event, None)
+            if hook is not None:
+                hook(node_id)
+
     # -- operational hooks ---------------------------------------------------------
+
+    def on_node_crash(self, node_id: int) -> None:
+        """Crash a node and notify node listeners (volatile state is lost)."""
+        self.nodes[node_id].crash()
+        self._notify_node_event("on_node_crash", node_id)
 
     def on_node_recover(self, node_id: int) -> None:
         """Bring a node back up and replay its hints (if handoff is enabled)."""
         node = self.nodes[node_id]
         node.recover()
-        if self.hints is None:
-            return
-        for key, version in self.hints.drain(node_id):
-            # Replay from an arbitrary live coordinator colocated with the data.
-            src = self._any_live_node()
-            if src is None:
-                break
-            self.network.send(
-                src,
-                node_id,
-                self.sizes.hint_overhead + version.size,
-                node.handle_write,
-                key,
-                version,
-                _hint_applied,
-            )
+        if self.hints is not None:
+            for key, version in self.hints.drain(node_id):
+                # Replay from an arbitrary live coordinator colocated with
+                # the data.
+                src = self._any_live_node()
+                if src is None:
+                    break
+                self.network.send(
+                    src,
+                    node_id,
+                    self.sizes.hint_overhead + version.size,
+                    node.handle_write,
+                    key,
+                    version,
+                    self._hint_applied,
+                )
+        self._notify_node_event("on_node_recover", node_id)
+
+    def _hint_applied(self, node_id: int, key: str, version) -> None:
+        """A replayed hint landed: the write is now fully propagated.
+
+        Emits the same propagated-notification path normal writes use, so
+        monitors observe post-recovery convergence (the ack delay is the
+        true write-to-apply lag, including the downtime).
+        """
+        result = OpResult("write", key, version.timestamp, "hint-replay")
+        result.ok = True
+        result.t_end = self.sim.now
+        result.value_size = version.size
+        result.replicas_contacted = 1
+        result.ack_delays = [self.sim.now - version.timestamp]
+        self._notify_propagated(result)
 
     def preload(self, keys: List[str], value_size: Optional[int] = None) -> None:
         """Install an initial, fully consistent data set (YCSB's load phase).
@@ -365,7 +403,3 @@ class ReplicatedStore:
             f"rf={self.strategy.rf_total}, ops={self.ops_completed()}, "
             f"stale_rate={self.stale_rate:.4f})"
         )
-
-
-def _hint_applied(node_id: int, key: str, version) -> None:
-    """Hint replay needs no acknowledgement."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
+from repro.common.errors import ConfigError
 from repro.cluster.consistency import ConsistencyLevel, LevelSpec
 from repro.cluster.failures import FailureInjector
 from repro.cluster.store import ReplicatedStore
@@ -44,6 +45,7 @@ __all__ = [
     "bismar_factory",
     "rationing_factory",
     "rwratio_factory",
+    "named_policy_factory",
     "deploy_and_run",
     "run_one",
 ]
@@ -116,6 +118,32 @@ def bismar_factory(
         )
 
     return build
+
+
+def named_policy_factory(name: str, tolerance: float = 0.4) -> PolicyFactory:
+    """Resolve a policy by its shootout name (CLI and scenario vocabulary).
+
+    ``eventual`` (ONE/ONE), ``quorum``, ``strong`` (ALL/ALL), or
+    ``harmony`` adapting at ``tolerance``. The single source of truth for
+    the name->factory mapping used by ``repro txn`` and the policy-sweep
+    scenarios.
+    """
+    if name == "eventual":
+        return static_factory(1, 1, name="eventual")
+    if name == "quorum":
+        return static_factory(
+            ConsistencyLevel.QUORUM, ConsistencyLevel.QUORUM, name="quorum"
+        )
+    if name == "strong":
+        return static_factory(
+            ConsistencyLevel.ALL, ConsistencyLevel.ALL, name="strong"
+        )
+    if name == "harmony":
+        return harmony_factory(tolerance)
+    raise ConfigError(
+        f"unknown policy {name!r}; choose from "
+        f"['eventual', 'harmony', 'quorum', 'strong']"
+    )
 
 
 def rationing_factory(threshold: float = 0.01) -> PolicyFactory:

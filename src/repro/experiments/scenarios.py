@@ -27,11 +27,10 @@ Examples
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigError
-from repro.cluster.consistency import ConsistencyLevel
 from repro.cluster.failures import FailureInjector
 from repro.cost.pricing import EC2_US_EAST_2013
 from repro.experiments.platforms import (
@@ -46,14 +45,20 @@ from repro.experiments.runner import (
     bismar_factory,
     deploy_and_run,
     harmony_factory,
-    static_factory,
+    named_policy_factory,
 )
+from repro.txn.api import TxnConfig
+from repro.txn.runner import deploy_and_run_txn
 from repro.workload.client import RunReport
 from repro.workload.workloads import (
     WORKLOADS,
+    TxnWorkloadSpec,
     WorkloadSpec,
+    bank_transfer_mix,
     flash_crowd,
     heavy_read_update,
+    order_checkout_mix,
+    read_modify_write_mix,
     read_mostly_latest,
 )
 
@@ -86,6 +91,14 @@ class ScenarioSpec:
     workload:
         ``params -> WorkloadSpec``, or ``None`` for the platform's default
         heavy read-update mix.
+    txn_workload:
+        ``params -> TxnWorkloadSpec`` for transactional scenarios; when
+        set, the run goes through the 2PC harness
+        (:func:`repro.txn.runner.deploy_and_run_txn`), ``ops`` counts
+        transactions, and the run's metrics include the ``txn`` block.
+    txn_config:
+        ``params -> TxnConfig`` protocol tunables (transactional
+        scenarios only).
     failures:
         ``(injector, params) -> None``; schedules the scenario's failure
         script before the workload starts. ``None`` = healthy cluster.
@@ -104,6 +117,8 @@ class ScenarioSpec:
     platform: Callable[[], Platform]
     policy: Callable[[Params], PolicyFactory]
     workload: Optional[Callable[[Params], WorkloadSpec]] = None
+    txn_workload: Optional[Callable[[Params], TxnWorkloadSpec]] = None
+    txn_config: Optional[Callable[[Params], TxnConfig]] = None
     failures: Optional[Callable[[FailureInjector, Params], None]] = None
     defaults: Mapping[str, Any] = field(default_factory=dict)
     pacing: Optional[Callable[[Params], float]] = None
@@ -132,7 +147,6 @@ class ScenarioSpec:
     ) -> "ScenarioRun":
         """Execute one deployment of this scenario and collect its metrics."""
         params = self.resolve_params(overrides)
-        spec = self.workload(params) if self.workload is not None else None
         failure_script = None
         if self.failures is not None:
             fail = self.failures
@@ -140,16 +154,29 @@ class ScenarioSpec:
             def failure_script(injector: FailureInjector) -> None:
                 fail(injector, params)
 
-        outcome = deploy_and_run(
-            self.platform(),
-            self.policy(params),
-            spec=spec,
-            ops=ops if ops is not None else self.ops,
-            clients=self.clients,
-            seed=seed,
-            target_throughput=self.pacing(params) if self.pacing else None,
-            failure_script=failure_script,
-        )
+        if self.txn_workload is not None:
+            outcome = deploy_and_run_txn(
+                self.platform(),
+                self.policy(params),
+                spec=self.txn_workload(params),
+                txns=ops if ops is not None else self.ops,
+                clients=self.clients,
+                seed=seed,
+                target_throughput=self.pacing(params) if self.pacing else None,
+                failure_script=failure_script,
+                txn_config=self.txn_config(params) if self.txn_config else None,
+            )
+        else:
+            outcome = deploy_and_run(
+                self.platform(),
+                self.policy(params),
+                spec=self.workload(params) if self.workload is not None else None,
+                ops=ops if ops is not None else self.ops,
+                clients=self.clients,
+                seed=seed,
+                target_throughput=self.pacing(params) if self.pacing else None,
+                failure_script=failure_script,
+            )
         fractions_fn = getattr(outcome.policy, "level_time_fractions", None)
         level_fractions = fractions_fn() if callable(fractions_fn) else {}
         return ScenarioRun(
@@ -180,7 +207,14 @@ class ScenarioRun:
     def metrics(self) -> Dict[str, Any]:
         """The per-run result row (plain python scalars, JSON-safe)."""
         rep = self.report
+        extra: Dict[str, Any] = {}
+        if rep.txn is not None:
+            extra["txn"] = {
+                k: (dict(sorted(v.items())) if isinstance(v, dict) else v)
+                for k, v in sorted(rep.txn.items())
+            }
         return {
+            **extra,
             "policy": rep.policy,
             "workload": rep.workload,
             "ops_completed": int(rep.ops_completed),
@@ -235,17 +269,8 @@ def _harmony_policy(params: Params) -> PolicyFactory:
 
 
 def _shootout_policy(params: Params) -> PolicyFactory:
-    kind = str(params["policy"])
-    if kind == "harmony":
-        return harmony_factory(float(params["tolerance"]))
-    if kind == "eventual":
-        return static_factory(1, 1, name="eventual")
-    if kind == "strong":
-        return static_factory(
-            ConsistencyLevel.ALL, ConsistencyLevel.ALL, name="strong"
-        )
-    raise ConfigError(
-        f"unknown policy {kind!r}; choose from ['eventual', 'harmony', 'strong']"
+    return named_policy_factory(
+        str(params["policy"]), tolerance=float(params.get("tolerance", 0.4))
     )
 
 
@@ -257,7 +282,7 @@ def _storm_script(injector: FailureInjector, params: Params) -> None:
     node_ids = [(i * n_nodes) // count for i in range(count)]
     injector.crash_storm(
         node_ids,
-        start=1.0,
+        start=float(params.get("crash_start", 1.0)),
         interval=float(params["crash_interval"]),
         downtime=float(params["downtime"]),
     )
@@ -379,6 +404,77 @@ register(
         ops=4000,
         clients=24,
         tags=("cost", "bismar"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="txn-shootout",
+        description="Bank transfers under 2PC: sweep the read-level policy "
+        "and watch stale reads turn into aborts",
+        platform=ec2_harmony_platform,
+        policy=_shootout_policy,
+        # Tempered zipfian skew: at theta=0.99 the hottest accounts stay
+        # prepare-locked continuously and lock conflicts drown the
+        # staleness signal this scenario exists to measure.
+        txn_workload=lambda p: replace(
+            bank_transfer_mix(record_count=2000),
+            distribution_kwargs={"theta": float(p["theta"])},
+        ),
+        defaults={"policy": "harmony", "tolerance": 0.4, "theta": 0.6},
+        ops=1200,
+        clients=12,
+        tags=("txn", "shootout"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="txn-crash-storm",
+        description="Atomic read-modify-writes while rolling crashes sweep "
+        "the cluster: commit availability and in-doubt recovery",
+        platform=grid5000_harmony_platform,
+        policy=_harmony_policy,
+        txn_workload=lambda p: read_modify_write_mix(record_count=400),
+        txn_config=lambda p: TxnConfig(
+            prepare_timeout=0.5,
+            client_timeout=2.0,
+            retry_interval=0.25,
+            status_interval=0.25,
+        ),
+        failures=_storm_script,
+        # The storm rolls early and fast relative to the ~2s run, so every
+        # crash and every recovery (with its in-doubt resolution) lands
+        # inside the measured window.
+        defaults={
+            "tolerance": 0.2,
+            "crash_start": 0.5,
+            "crash_count": 4,
+            "crash_interval": 0.5,
+            "downtime": 1.0,
+        },
+        ops=1200,
+        clients=12,
+        tags=("txn", "failures"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="txn-geo-2pc",
+        description="Order checkouts committing over a WAN: geo-replicated "
+        "2PC latency vs the consistency dial",
+        platform=grid5000_harmony_platform,
+        policy=_harmony_policy,
+        # A wide, uniformly accessed catalog: the WAN round-trips, not lock
+        # contention, should dominate what this scenario measures.
+        txn_workload=lambda p: replace(
+            order_checkout_mix(record_count=800), distribution="uniform"
+        ),
+        defaults={"tolerance": 0.2},
+        ops=1200,
+        clients=12,
+        tags=("txn", "geo"),
     )
 )
 

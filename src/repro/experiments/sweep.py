@@ -224,6 +224,18 @@ _CSV_COLUMNS = (
     "cost_per_kop_usd",
 )
 
+#: Transactional columns, appended (prefixed ``txn_``) whenever at least one
+#: run in the sweep carries a ``txn`` metrics block; rows of non-txn
+#: scenarios leave them empty.
+_TXN_CSV_COLUMNS = (
+    "txns",
+    "commits",
+    "abort_rate",
+    "in_doubt_end",
+    "lost_updates",
+    "commit_latency_p99_ms",
+)
+
 
 @dataclass
 class SweepResult:
@@ -233,14 +245,31 @@ class SweepResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
 
     def table(self) -> Table:
-        """ASCII summary table (one row per run)."""
+        """ASCII summary table (one row per run).
+
+        Transactional scenarios contribute ``txn_*`` columns so the CSV
+        carries their headline metrics (commit/abort/in-doubt counts,
+        commit latency), not just the read-side ones.
+        """
+        txn_cols = (
+            list(_TXN_CSV_COLUMNS)
+            if any(row.get("txn") for row in self.rows)
+            else []
+        )
         t = Table(
             f"sweep: {len(self.rows)} runs (root seed {self.root_seed})",
-            ["scenario", "params"] + list(_CSV_COLUMNS),
+            ["scenario", "params"]
+            + list(_CSV_COLUMNS)
+            + [f"txn_{c}" for c in txn_cols],
         )
         for row in self.rows:
             params = " ".join(f"{k}={v}" for k, v in row["params"].items())
-            t.add_row([row["scenario"], params] + [row[c] for c in _CSV_COLUMNS])
+            txn = row.get("txn") or {}
+            t.add_row(
+                [row["scenario"], params]
+                + [row[c] for c in _CSV_COLUMNS]
+                + [txn.get(c, "") for c in txn_cols]
+            )
         return t
 
     def to_json(self) -> str:

@@ -102,6 +102,12 @@ class ClusterMonitor:
         self._latency_halflife = latency_halflife
         self._now = 0.0
         self.ops_seen = 0
+        # transactional signals (populated only when a TransactionalStore
+        # drives the deployment; zero otherwise)
+        self.txn_commits = 0
+        self.txn_aborts = 0
+        self.txn_in_doubt = 0
+        self.commit_latency = Ewma(halflife=latency_halflife)
 
     # -- listener interface ------------------------------------------------------
 
@@ -121,10 +127,49 @@ class ClusterMonitor:
             if result.ok:
                 self.write_latency.update(result.latency, t=t)
 
+    def on_txn_complete(self, outcome) -> None:
+        """Fold one transaction outcome into the running estimates.
+
+        ``outcome`` is a :class:`repro.txn.api.TxnOutcome`; like everything
+        else the monitor sees, it is coordinator-observable (commit/abort
+        verdicts and client-side commit latency -- never oracle state).
+        A ``resolved-in-doubt`` outcome is the late verdict of a
+        transaction previously reported in doubt: it moves the count from
+        the in-doubt bucket to the decided one.
+        """
+        t = outcome.t_end
+        self._now = max(self._now, t)
+        if outcome.reason == "resolved-in-doubt" and self.txn_in_doubt > 0:
+            self.txn_in_doubt -= 1
+        if outcome.status == "committed":
+            self.txn_commits += 1
+            self.commit_latency.update(outcome.commit_latency, t=t)
+        elif outcome.status == "aborted":
+            self.txn_aborts += 1
+        else:
+            self.txn_in_doubt += 1
+
+    def txn_abort_rate(self) -> float:
+        """Observed abort fraction of decided transactions."""
+        decided = self.txn_commits + self.txn_aborts
+        return self.txn_aborts / decided if decided else 0.0
+
     def on_write_propagated(self, result: OpResult) -> None:
         """Fold a fully-acknowledged write's ack-delay profile."""
         delays = result.ack_delays
         if not delays:
+            return
+        if result.level_label == "hint-replay":
+            # A replayed hint is a write's *slowest* replica completing long
+            # after the fact. Folding its downtime-length delay into rank 0
+            # (the fastest-replica estimate) would wreck the profile, so it
+            # lands on the tail rank -- and at the replay time, never
+            # rewinding the EWMA clocks to the original write's start.
+            if not self._rank_stats:
+                return
+            rank = len(self._rank_stats) - 1
+            self._rank_stats[rank].add(delays[-1])
+            self._rank_ewma[rank].update(delays[-1], t=result.t_end)
             return
         ordered = sorted(delays)
         while len(self._rank_stats) < len(ordered):

@@ -1,0 +1,478 @@
+"""The transactional client facade: ``begin / read / write / commit``.
+
+:class:`TransactionalStore` wraps a :class:`~repro.cluster.store.ReplicatedStore`
+with per-node write-ahead logs, participants and transaction managers, and
+exposes the client API:
+
+    txn = tstore.begin()
+    txn.read("user1", on_read)        # routed through the active policy
+    txn.write("user1", value_size)    # buffered until commit
+    txn.commit(on_outcome)            # presumed-abort 2PC
+
+Transactional **reads go through the store's normal read path at whatever
+level the active consistency policy (Harmony/Bismar/static) dials** -- that
+is the experiment: the policy's stale-read probability feeds directly into
+commit-time validation failures (aborts) and, when validation is off,
+into lost-update anomalies, which the store grades via the oracle.
+
+Writes are buffered client-side: no replica applies anything before the
+TM's logged decision, and a crashed participant re-drives its prepared
+writes from the WAL, so the **settled state is always all-or-nothing** --
+a partial transaction can never persist. (During the commit fan-out
+itself replicas apply as the decision reaches them, so a concurrent weak
+read may see the new versions arrive key by key -- the same propagation
+window every write has in an eventually-consistent store, and exactly
+what the staleness metrics measure.)
+
+The store registers for node crash/recovery events, wiping volatile 2PC
+state on crash and running the WAL recovery passes on recovery, so
+:class:`~repro.cluster.failures.FailureInjector` scripts exercise the full
+in-doubt machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.stats import Histogram
+from repro.cluster.coordinator import OpResult
+from repro.cluster.store import ReplicatedStore
+from repro.cluster.versions import NONE_VERSION, Version
+from repro.txn.participant import TxnParticipant
+from repro.txn.tm import TransactionManager
+from repro.txn.wal import WriteAheadLog
+
+__all__ = ["TxnConfig", "TxnOutcome", "Transaction", "TransactionalStore"]
+
+
+@dataclass
+class TxnConfig:
+    """Transaction-subsystem tunables.
+
+    Attributes
+    ----------
+    prepare_timeout:
+        TM-side vote-collection timeout (seconds); expiry aborts the round.
+    client_timeout:
+        Client-side outcome timeout; expiry reports the transaction as
+        in-doubt to the caller (recovery may still commit it later --
+        exactly the 2PC blocking window, surfaced honestly).
+    retry_interval:
+        TM decision re-send period until all participants acknowledge.
+    status_interval:
+        Prepared-participant polling period for the TM's verdict.
+    validate_reads:
+        Commit-time optimistic validation of read-then-written keys
+        against each replica's local state. Off = eventual-style blind
+        commits (lost updates become observable).
+    grade_anomalies:
+        Oracle-side lost-update grading of commits (measurement only;
+        never feeds back into protocol decisions).
+    """
+
+    prepare_timeout: float = 5.0
+    client_timeout: float = 10.0
+    retry_interval: float = 0.5
+    status_interval: float = 0.5
+    validate_reads: bool = True
+    grade_anomalies: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("prepare_timeout", "client_timeout", "retry_interval", "status_interval"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive, got {getattr(self, name)}")
+
+
+class TxnOutcome:
+    """What the client learns about one transaction."""
+
+    __slots__ = (
+        "txn_id",
+        "status",
+        "reason",
+        "t_begin",
+        "t_commit",
+        "t_end",
+        "n_reads",
+        "n_writes",
+        "stale_reads",
+    )
+
+    def __init__(self, txn_id: int, status: str, reason: Optional[str], txn: "Transaction", t_end: float):
+        self.txn_id = txn_id
+        self.status = status  # "committed" | "aborted" | "in-doubt"
+        self.reason = reason
+        self.t_begin = txn.t_begin
+        self.t_commit = txn.t_commit
+        self.t_end = t_end
+        self.n_reads = txn.n_reads
+        self.n_writes = len(txn.writes)
+        self.stale_reads = txn.stale_reads
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+    @property
+    def commit_latency(self) -> float:
+        """Seconds from the commit request to the client-visible outcome."""
+        return self.t_end - self.t_commit
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f"({self.reason})" if self.reason else ""
+        return f"TxnOutcome(#{self.txn_id} {self.status}{tag}, {self.commit_latency * 1e3:.2f}ms)"
+
+
+class Transaction:
+    """One client transaction handle (single use)."""
+
+    __slots__ = (
+        "owner",
+        "txn_id",
+        "coordinator",
+        "read_versions",
+        "stale_keys",
+        "writes",
+        "t_begin",
+        "t_commit",
+        "pending_reads",
+        "commit_requested",
+        "state",
+        "delivered",
+        "done",
+        "read_failed",
+        "stale_reads",
+        "n_reads",
+        "timeout_event",
+    )
+
+    def __init__(self, owner: "TransactionalStore", txn_id: int, coordinator: Optional[int]):
+        self.owner = owner
+        self.txn_id = txn_id
+        self.coordinator = coordinator
+        self.read_versions: Dict[str, Version] = {}
+        self.stale_keys: set = set()
+        self.writes: Dict[str, int] = {}
+        self.t_begin = owner.store.sim.now
+        self.t_commit = self.t_begin
+        self.pending_reads = 0
+        self.commit_requested = False
+        self.state = "active"
+        self.delivered = False
+        self.done: Optional[Callable[[TxnOutcome], Any]] = None
+        self.read_failed = False
+        self.stale_reads = 0
+        self.n_reads = 0
+        self.timeout_event: Any = None
+
+    # -- operations ---------------------------------------------------------------
+
+    def read(self, key: str, done: Optional[Callable[[OpResult], Any]] = None) -> None:
+        """Read ``key`` at the active policy's level, recording the version."""
+        if self.state != "active":
+            raise SimulationError(f"read on a {self.state} transaction")
+        self.pending_reads += 1
+        self.n_reads += 1
+
+        def _done(result: OpResult) -> None:
+            self.pending_reads -= 1
+            if result.ok:
+                self.read_versions[key] = (
+                    result.version if result.version is not None else NONE_VERSION
+                )
+                if result.stale:
+                    self.stale_reads += 1
+                    self.stale_keys.add(key)
+            else:
+                self.read_failed = True
+            if done is not None:
+                done(result)
+            if self.commit_requested and self.pending_reads == 0:
+                self.owner._start_commit(self)
+
+        self.owner.store.read(
+            key, self.owner.read_level(), _done, coordinator=self.coordinator
+        )
+
+    def write(self, key: str, value_size: Optional[int] = None) -> None:
+        """Buffer a write; nothing reaches any replica before commit."""
+        if self.state != "active":
+            raise SimulationError(f"write on a {self.state} transaction")
+        size = value_size if value_size is not None else self.owner.store.default_value_size
+        self.writes[key] = int(size)
+
+    def commit(self, done: Optional[Callable[[TxnOutcome], Any]] = None) -> None:
+        """Request commit; ``done(outcome)`` fires with the verdict."""
+        if self.state != "active" or self.commit_requested:
+            raise SimulationError(f"commit on a {self.state} transaction")
+        self.done = done
+        self.commit_requested = True
+        if self.pending_reads == 0:
+            self.owner._start_commit(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Transaction(#{self.txn_id}, {self.state}, reads={self.n_reads}, "
+            f"writes={len(self.writes)})"
+        )
+
+
+class TransactionalStore:
+    """Atomic multi-key transactions over a replicated store.
+
+    Parameters
+    ----------
+    store:
+        The deployment to transact against.
+    policy:
+        The consistency policy transactional reads consult (``None`` =
+        level ONE, the eventual baseline).
+    config:
+        Protocol tunables.
+    """
+
+    def __init__(
+        self,
+        store: ReplicatedStore,
+        policy: Any = None,
+        config: Optional[TxnConfig] = None,
+    ):
+        self.store = store
+        self.policy = policy
+        self.config = config or TxnConfig()
+        n = len(store.nodes)
+        self.wals: List[WriteAheadLog] = [WriteAheadLog(i) for i in range(n)]
+        self.participants: List[TxnParticipant] = [
+            TxnParticipant(self, i, self.wals[i]) for i in range(n)
+        ]
+        self.tms: List[TransactionManager] = [
+            TransactionManager(self, i, self.wals[i]) for i in range(n)
+        ]
+        store.add_node_listener(self)
+
+        self._txn_seq = 0
+        self._inflight: Dict[int, Transaction] = {}
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        self.txns_begun = 0
+        self.commits = 0
+        self.aborts: Dict[str, int] = {}
+        self.in_doubt_client = 0
+        self.in_doubt_resolved = 0
+        self.lost_updates = 0
+        self.txn_stale_reads = 0
+        self.commit_latency = Histogram(lo=1e-5, hi=60.0)
+        # The WAL is append-only and the recovery counters are cumulative by
+        # design (they are protocol state, not measurement surfaces), so the
+        # summary reports them as deltas from this baseline -- keeping every
+        # number in txn_summary() scoped to the same measurement interval.
+        self._wal_records0 = sum(len(w) for w in self.wals)
+        self._in_doubt_recovered0 = sum(
+            p.in_doubt_recovered for p in self.participants
+        )
+        self._tm_recovery_resolved0 = sum(t.recovery_resolved for t in self.tms)
+
+    # -- client API ---------------------------------------------------------------
+
+    def begin(self, coordinator: Optional[int] = None) -> Transaction:
+        """Open a transaction coordinated by ``coordinator`` (or a live node)."""
+        self._txn_seq += 1
+        coord: Optional[int] = None
+        if coordinator is not None and self.store.nodes[coordinator].up:
+            coord = int(coordinator)
+        else:
+            picked = self.store._pick_coordinator(None)
+            coord = picked.node_id if picked is not None else None
+        self.txns_begun += 1
+        return Transaction(self, self._txn_seq, coord)
+
+    def read_level(self):
+        """The read level the active policy dials right now."""
+        if self.policy is None:
+            return 1
+        return self.policy.read_level(self.store.sim.now)
+
+    # -- commit orchestration -----------------------------------------------------
+
+    def _start_commit(self, txn: Transaction) -> None:
+        sim = self.store.sim
+        txn.state = "committing"
+        txn.t_commit = sim.now
+        if txn.read_failed:
+            self.aborts["read-failed"] = self.aborts.get("read-failed", 0) + 1
+            self._deliver(txn, "aborted", "read-failed")
+            return
+        if not txn.writes:
+            # Read-only: nothing to make atomic, commit locally.
+            self.commits += 1
+            self.commit_latency.add(1e-9)
+            self._deliver(txn, "committed", None)
+            return
+        coord = txn.coordinator
+        if coord is None or not self.store.nodes[coord].up:
+            live = self.store._any_live_node()
+            if live is None:
+                self.aborts["unavailable"] = self.aborts.get("unavailable", 0) + 1
+                self._deliver(txn, "aborted", "unavailable")
+                return
+            coord = live
+            txn.coordinator = coord
+        self._inflight[txn.txn_id] = txn
+        txn.timeout_event = sim.schedule(
+            self.config.client_timeout, self._client_timeout, txn.txn_id
+        )
+        self.tms[coord].begin_commit(txn)
+
+    def _client_timeout(self, txn_id: int) -> None:
+        txn = self._inflight.get(txn_id)
+        if txn is None or txn.delivered:
+            return
+        self.in_doubt_client += 1
+        self._deliver(txn, "in-doubt", "client-timeout")
+
+    def txn_decided(self, txn_id: int, commit: bool, reason: Optional[str]) -> None:
+        """TM callback at the decision point (or at recovery resolution)."""
+        txn = self._inflight.pop(txn_id, None)
+        if txn is None:
+            return
+        if txn.timeout_event is not None:
+            txn.timeout_event.cancel()
+            txn.timeout_event = None
+        latency = self.store.sim.now - txn.t_commit
+        if commit:
+            self.commits += 1
+            self.commit_latency.add(max(latency, 1e-9))
+            self.txn_stale_reads += txn.stale_reads
+        else:
+            label = reason or "aborted"
+            self.aborts[label] = self.aborts.get(label, 0) + 1
+        if txn.delivered:
+            # The client timed out into "in-doubt" earlier; the protocol has
+            # now resolved it (the blocking window closed after the fact).
+            # Listeners still hear the late verdict -- monitors must not
+            # count the transaction as in-doubt forever -- but the client
+            # callback, already answered, is not re-fired.
+            self.in_doubt_resolved += 1
+            txn.state = "finished"
+            self._notify_listeners(
+                TxnOutcome(
+                    txn.txn_id,
+                    "committed" if commit else "aborted",
+                    "resolved-in-doubt",
+                    txn,
+                    self.store.sim.now,
+                )
+            )
+            return
+        self._deliver(txn, "committed" if commit else "aborted", reason)
+
+    def grade_commit(self, txn_id: int, writes_by_key: Dict[str, Version]) -> None:
+        """Oracle-side lost-update grading at the TM's commit point.
+
+        A committing transaction that overwrites a key whose in-transaction
+        read was **stale** (the oracle judged it older than the committed
+        version at read time) has destroyed an update it never saw -- the
+        classic lost-update anomaly, attributed precisely to staleness.
+        Write-write races past a *fresh* read are not counted here; they
+        are the prepare-lock conflicts' and validation's job. Pure
+        measurement: the verdict never feeds back into the protocol.
+        """
+        if not self.config.grade_anomalies:
+            return
+        txn = self._inflight.get(txn_id)
+        if txn is None:
+            return
+        for key in sorted(writes_by_key):
+            if key in txn.stale_keys:
+                self.lost_updates += 1
+                break
+
+    def _notify_listeners(self, outcome: TxnOutcome) -> None:
+        for listener in self.store._listeners:
+            hook = getattr(listener, "on_txn_complete", None)
+            if hook is not None:
+                hook(outcome)
+
+    def _deliver(self, txn: Transaction, status: str, reason: Optional[str]) -> None:
+        txn.delivered = True
+        if status != "in-doubt":
+            txn.state = "finished"
+        outcome = TxnOutcome(txn.txn_id, status, reason, txn, self.store.sim.now)
+        self._notify_listeners(outcome)
+        if txn.done is not None:
+            txn.done(outcome)
+
+    # -- node lifecycle hooks (called by the store) -------------------------------
+
+    def on_node_crash(self, node_id: int) -> None:
+        """Volatile 2PC state dies with the node; the WAL survives."""
+        self.participants[node_id].on_crash()
+        self.tms[node_id].on_crash()
+
+    def on_node_recover(self, node_id: int) -> None:
+        """WAL recovery: rebuild prepared state, resolve unfinished rounds."""
+        self.participants[node_id].on_recover()
+        self.tms[node_id].on_recover()
+
+    # -- metrics ------------------------------------------------------------------
+
+    def in_doubt_now(self) -> int:
+        """Transactions currently prepared-but-undecided somewhere.
+
+        A pure WAL scan, not a volatile-state scan: a transaction held
+        prepared in a *crashed* node's log is exactly as in doubt as one
+        in a live node's memory -- recovery will have to resolve it either
+        way, and the end-of-run audit must count it.
+        """
+        pending: Set[int] = set()
+        for wal in self.wals:
+            pending.update(wal.in_doubt())
+        return len(pending)
+
+    def abort_count(self) -> int:
+        return sum(self.aborts.values())
+
+    def reset_metrics(self) -> None:
+        """Zero txn and store measurement surfaces (warmup boundary)."""
+        self._reset_counters()
+        self.store.reset_metrics()
+
+    def txn_summary(self) -> Dict[str, Any]:
+        """One-shot transactional metrics snapshot (JSON-safe scalars).
+
+        Every number covers the interval since the last
+        :meth:`reset_metrics` (the warmup boundary in harness runs);
+        cumulative protocol counters are converted to deltas.
+        """
+        decided = self.commits + self.abort_count()
+        return {
+            "txns": decided,
+            "commits": self.commits,
+            "aborts": dict(sorted(self.aborts.items())),
+            "abort_rate": self.abort_count() / decided if decided else 0.0,
+            "in_doubt_client": self.in_doubt_client,
+            "in_doubt_resolved": self.in_doubt_resolved,
+            "in_doubt_end": self.in_doubt_now(),
+            "lost_updates": self.lost_updates,
+            "stale_txn_reads": self.txn_stale_reads,
+            "commit_latency_mean_ms": self.commit_latency.mean * 1e3,
+            "commit_latency_p99_ms": self.commit_latency.percentile(99) * 1e3,
+            "wal_records": sum(len(w) for w in self.wals) - self._wal_records0,
+            "in_doubt_recovered": (
+                sum(p.in_doubt_recovered for p in self.participants)
+                - self._in_doubt_recovered0
+            ),
+            "tm_recovery_resolved": (
+                sum(t.recovery_resolved for t in self.tms)
+                - self._tm_recovery_resolved0
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TransactionalStore(nodes={len(self.store.nodes)}, "
+            f"commits={self.commits}, aborts={self.abort_count()})"
+        )

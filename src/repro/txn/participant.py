@@ -1,0 +1,262 @@
+"""The replica-side state machine of presumed-abort two-phase commit.
+
+One :class:`TxnParticipant` per storage node. The participant's job per
+transaction:
+
+``PREPARE`` -- decide a vote. YES requires (a) every written key free of a
+conflicting prepare lock and (b), when commit-time validation is on, the
+local replica's version of every written-and-read key no newer than the
+version the transaction read (optimistic concurrency control graded
+against *this replica's* state -- a stale replica can wave a doomed
+transaction through, which is exactly how stale reads leak into abort and
+anomaly rates). A YES vote force-logs the buffered writes to the WAL and
+takes per-key locks; a NO vote logs nothing (presumed abort).
+
+``COMMIT``/``ABORT`` -- log the decision, apply (last-write-wins) or
+discard the buffered writes, release locks, acknowledge the TM.
+
+**Crash/recovery** -- a crash wipes the lock table, the prepared-state
+mirror and the status-poll timers; only the WAL survives. Recovery
+rebuilds prepared state and locks from in-doubt ``prepare`` records (LSN
+order) and asks each transaction's TM for the verdict. While in doubt the
+participant also polls the TM periodically, which resolves lost decision
+messages and TM crash windows without any global observer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.cluster.versions import Version
+from repro.txn.wal import (
+    REC_ABORT,
+    REC_COMMIT,
+    REC_PREPARE,
+    WriteAheadLog,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.txn.api import TransactionalStore
+
+__all__ = ["TxnParticipant"]
+
+
+class _Prepared:
+    """Volatile mirror of one in-doubt transaction (rebuilt from WAL)."""
+
+    __slots__ = ("txn_id", "tm_node", "writes")
+
+    def __init__(self, txn_id: int, tm_node: int, writes: Dict[str, Version]):
+        self.txn_id = txn_id
+        self.tm_node = tm_node
+        self.writes = writes
+
+
+class TxnParticipant:
+    """Per-node prepare/commit state machine."""
+
+    def __init__(self, owner: "TransactionalStore", node_id: int, wal: WriteAheadLog):
+        self.owner = owner
+        self.node_id = int(node_id)
+        self.wal = wal
+        #: key -> txn_id holding the prepare lock.
+        self.locks: Dict[str, int] = {}
+        #: txn_id -> prepared state awaiting a decision.
+        self.prepared: Dict[int, _Prepared] = {}
+        self._poll_events: Dict[int, Any] = {}
+        # counters (never reset by a crash -- they are measurement surfaces)
+        self.prepares_seen = 0
+        self.votes_yes = 0
+        self.votes_no = 0
+        self.commits_applied = 0
+        self.aborts_applied = 0
+        self.in_doubt_recovered = 0
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _node(self):
+        return self.owner.store.nodes[self.node_id]
+
+    def _sim(self):
+        return self.owner.store.sim
+
+    # -- message handlers ---------------------------------------------------------
+
+    def on_prepare(
+        self,
+        txn_id: int,
+        tm_node: int,
+        writes: Dict[str, Version],
+        read_versions: Dict[str, Optional[Version]],
+    ) -> None:
+        """PREPARE from the TM: vote, and on YES make the writes durable."""
+        if not self._node().up:
+            return  # message lost at a dead node; the TM's timeout handles it
+        self.prepares_seen += 1
+        if txn_id in self.prepared:
+            self._send_vote(tm_node, txn_id, True)  # duplicate (TM retry)
+            return
+        kinds = self.wal.kinds_for(txn_id)
+        if REC_COMMIT in kinds or REC_ABORT in kinds:
+            return  # stale duplicate of an already-decided transaction
+        vote = self._evaluate(txn_id, writes, read_versions)
+        if vote:
+            self.votes_yes += 1
+            self.wal.append(
+                REC_PREPARE, txn_id, self._sim().now, tm_node=tm_node, writes=dict(writes)
+            )
+            for key in writes:
+                self.locks[key] = txn_id
+            self.prepared[txn_id] = _Prepared(txn_id, tm_node, dict(writes))
+            self._schedule_poll(txn_id)
+        else:
+            self.votes_no += 1
+        self._send_vote(tm_node, txn_id, vote)
+
+    def _evaluate(
+        self,
+        txn_id: int,
+        writes: Dict[str, Version],
+        read_versions: Dict[str, Optional[Version]],
+    ) -> bool:
+        """The YES/NO decision: lock conflicts, then read validation."""
+        for key in writes:
+            holder = self.locks.get(key)
+            if holder is not None and holder != txn_id:
+                return False
+        node = self._node()
+        for key in sorted(read_versions):
+            seen = read_versions[key]
+            local = node.data.get(key)
+            if local is None:
+                continue
+            if seen is None or local.newer_than(seen):
+                # The local replica holds a version the transaction never
+                # read: someone committed underneath it.
+                return False
+        return True
+
+    def on_decision(self, txn_id: int, tm_node: int, commit: bool) -> None:
+        """COMMIT/ABORT from the TM (possibly a retry or a recovery reply)."""
+        if not self._node().up:
+            return  # lost; the TM keeps retrying until acknowledged
+        p = self.prepared.get(txn_id)
+        if p is None:
+            # Never prepared here (presumed abort: nothing to undo) or
+            # already decided (duplicate retry). Ack so the TM stops.
+            self._send_ack(tm_node, txn_id)
+            return
+        self.wal.append(REC_COMMIT if commit else REC_ABORT, txn_id, self._sim().now)
+        if commit:
+            self._apply(p)
+            self.commits_applied += 1
+        else:
+            self.aborts_applied += 1
+        for key in p.writes:
+            if self.locks.get(key) == txn_id:
+                del self.locks[key]
+        self._cancel_poll(txn_id)
+        del self.prepared[txn_id]
+        self._send_ack(tm_node, txn_id)
+
+    def _apply(self, p: _Prepared) -> None:
+        """Install the prepared writes (last-write-wins, oracle-visible)."""
+        node = self._node()
+        now = self._sim().now
+        oracle = self.owner.store.oracle
+        for key in sorted(p.writes):
+            version = p.writes[key]
+            current = node.data.get(key)
+            if current is None or version.newer_than(current):
+                node.data[key] = version
+            node.writes_applied += 1
+            oracle.note_replica_applied(version, now)
+
+    # -- crash / recovery ---------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Volatile state is lost; the WAL is all that survives."""
+        for ev in self._poll_events.values():
+            ev.cancel()
+        self._poll_events.clear()
+        self.locks.clear()
+        self.prepared.clear()
+
+    def on_recover(self) -> None:
+        """Rebuild prepared state from the WAL and chase down decisions."""
+        for txn_id in self.wal.in_doubt():
+            rec = self.wal.prepare_record(txn_id)
+            if rec is None:  # pragma: no cover - in_doubt implies a record
+                continue
+            p = _Prepared(txn_id, int(rec.data["tm_node"]), dict(rec.data["writes"]))
+            self.prepared[txn_id] = p
+            for key in p.writes:
+                self.locks[key] = txn_id
+            self.in_doubt_recovered += 1
+            self._query_status(txn_id)
+            self._schedule_poll(txn_id)
+
+    # -- in-doubt polling ---------------------------------------------------------
+
+    def _schedule_poll(self, txn_id: int) -> None:
+        self._poll_events[txn_id] = self._sim().schedule(
+            self.owner.config.status_interval, self._poll, txn_id
+        )
+
+    def _cancel_poll(self, txn_id: int) -> None:
+        ev = self._poll_events.pop(txn_id, None)
+        if ev is not None:
+            ev.cancel()
+
+    def _poll(self, txn_id: int) -> None:
+        if txn_id not in self.prepared or not self._node().up:
+            self._poll_events.pop(txn_id, None)
+            return
+        self._query_status(txn_id)
+        self._schedule_poll(txn_id)
+
+    def _query_status(self, txn_id: int) -> None:
+        """Ask the transaction's TM for the verdict (presumed-abort reply)."""
+        p = self.prepared.get(txn_id)
+        if p is None:
+            return
+        st = self.owner.store
+        st.network.send(
+            self.node_id,
+            p.tm_node,
+            st.sizes.digest,
+            self.owner.tms[p.tm_node].on_status_query,
+            txn_id,
+            self.node_id,
+        )
+
+    # -- outbound messages --------------------------------------------------------
+
+    def _send_vote(self, tm_node: int, txn_id: int, vote: bool) -> None:
+        st = self.owner.store
+        st.network.send(
+            self.node_id,
+            tm_node,
+            st.sizes.ack,
+            self.owner.tms[tm_node].on_vote,
+            txn_id,
+            self.node_id,
+            vote,
+        )
+
+    def _send_ack(self, tm_node: int, txn_id: int) -> None:
+        st = self.owner.store
+        st.network.send(
+            self.node_id,
+            tm_node,
+            st.sizes.ack,
+            self.owner.tms[tm_node].on_ack,
+            txn_id,
+            self.node_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TxnParticipant(node={self.node_id}, prepared={len(self.prepared)}, "
+            f"yes={self.votes_yes}, no={self.votes_no})"
+        )

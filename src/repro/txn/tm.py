@@ -1,0 +1,305 @@
+"""The transaction-manager (coordinator-side) state machine of 2PC.
+
+One :class:`TransactionManager` per node; a transaction is managed by the
+TM of the node that coordinated it. Presumed abort, as in the classic
+R* protocol:
+
+1. ``begin_commit`` assigns write versions, logs ``tm-begin`` (with the
+   participant list -- the recovery pass needs it), and sends PREPARE to
+   every replica of every written key;
+2. all-YES votes force-log ``tm-commit`` -- the transaction's commit point
+   -- after which the client is answered and COMMIT fans out; any NO vote
+   or a prepare timeout logs ``tm-abort`` and fans out ABORT;
+3. decisions are re-sent on a timer until every participant acknowledges,
+   then ``tm-end`` closes the round.
+
+**Crash/recovery** -- a TM crash wipes the in-flight table. Recovery scans
+the WAL for ``tm-begin`` without ``tm-end``: a logged ``tm-commit`` is
+re-driven forward (resend COMMIT until acked); an undecided round is
+resolved to abort (presumed abort -- no participant can have received a
+commit) and driven to ``tm-end`` the same way. Participants polling an
+unknown transaction get an abort reply for the same reason.
+
+Everything is deterministic: participants are contacted in sorted node
+order, retries iterate sorted un-acked sets, and all timing flows from
+the simulator clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.cluster.versions import Version
+from repro.txn.wal import (
+    REC_TM_ABORT,
+    REC_TM_BEGIN,
+    REC_TM_COMMIT,
+    REC_TM_END,
+    WriteAheadLog,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.txn.api import Transaction, TransactionalStore
+
+__all__ = ["TransactionManager"]
+
+
+class _TmTxn:
+    """Volatile state of one commit round this TM is driving."""
+
+    __slots__ = (
+        "txn_id",
+        "participants",
+        "writes_by_node",
+        "writes_by_key",
+        "votes",
+        "acks",
+        "decision",
+        "timeout_event",
+        "retry_event",
+        "t_start",
+    )
+
+    def __init__(self, txn_id: int, participants: List[int]):
+        self.txn_id = txn_id
+        self.participants = participants
+        self.writes_by_node: Dict[int, Dict[str, Version]] = {}
+        self.writes_by_key: Dict[str, Version] = {}
+        self.votes: Dict[int, bool] = {}
+        self.acks: Set[int] = set()
+        self.decision: Optional[str] = None  # None until decided
+        self.timeout_event: Any = None
+        self.retry_event: Any = None
+        self.t_start = 0.0
+
+
+class TransactionManager:
+    """Per-node presumed-abort 2PC coordinator."""
+
+    def __init__(self, owner: "TransactionalStore", node_id: int, wal: WriteAheadLog):
+        self.owner = owner
+        self.node_id = int(node_id)
+        self.wal = wal
+        self._active: Dict[int, _TmTxn] = {}
+        # counters
+        self.rounds_started = 0
+        self.commits_decided = 0
+        self.aborts_decided = 0
+        self.recovery_resolved = 0
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _node(self):
+        return self.owner.store.nodes[self.node_id]
+
+    def _sim(self):
+        return self.owner.store.sim
+
+    # -- the commit round ---------------------------------------------------------
+
+    def begin_commit(self, txn: "Transaction") -> None:
+        """Run 2PC for ``txn``'s buffered writes (versions assigned here)."""
+        st = self.owner.store
+        sim = self._sim()
+        now = sim.now
+        writes_by_key: Dict[str, Version] = {}
+        for key in sorted(txn.writes):
+            st.write_seq += 1
+            writes_by_key[key] = Version(now, st.write_seq, txn.writes[key])
+
+        writes_by_node: Dict[int, Dict[str, Version]] = {}
+        for key, version in writes_by_key.items():
+            for r in st.strategy.replicas(key, st.ring, st.topology):
+                writes_by_node.setdefault(r, {})[key] = version
+        participants = sorted(writes_by_node)
+
+        self.rounds_started += 1
+        self.wal.append(
+            REC_TM_BEGIN, txn.txn_id, now, participants=list(participants)
+        )
+        t = _TmTxn(txn.txn_id, participants)
+        t.writes_by_node = writes_by_node
+        t.writes_by_key = writes_by_key
+        t.t_start = now
+        self._active[txn.txn_id] = t
+
+        validate = self.owner.config.validate_reads
+        for r in participants:
+            node_writes = writes_by_node[r]
+            read_versions = (
+                {k: txn.read_versions[k] for k in sorted(node_writes) if k in txn.read_versions}
+                if validate
+                else {}
+            )
+            payload = st.sizes.request_overhead + sum(
+                v.size for v in node_writes.values()
+            )
+            st.network.send(
+                self.node_id,
+                r,
+                payload,
+                self.owner.participants[r].on_prepare,
+                txn.txn_id,
+                self.node_id,
+                node_writes,
+                read_versions,
+            )
+        t.timeout_event = sim.schedule(
+            self.owner.config.prepare_timeout, self._on_prepare_timeout, txn.txn_id
+        )
+
+    def on_vote(self, txn_id: int, node_id: int, vote: bool) -> None:
+        """A participant's YES/NO vote."""
+        if not self._node().up:
+            return
+        t = self._active.get(txn_id)
+        if t is None or t.decision is not None:
+            return  # decided already (timeout or earlier NO); late vote
+        t.votes[node_id] = vote
+        if not vote:
+            self._decide(t, commit=False, reason="conflict")
+        elif len(t.votes) == len(t.participants) and all(t.votes.values()):
+            self._decide(t, commit=True)
+
+    def _on_prepare_timeout(self, txn_id: int) -> None:
+        t = self._active.get(txn_id)
+        if t is None or t.decision is not None or not self._node().up:
+            return
+        self._decide(t, commit=False, reason="timeout")
+
+    def _decide(self, t: _TmTxn, commit: bool, reason: Optional[str] = None) -> None:
+        """The decision point: force-log, answer the client, fan out."""
+        sim = self._sim()
+        t.decision = "commit" if commit else "abort"
+        if t.timeout_event is not None:
+            t.timeout_event.cancel()
+            t.timeout_event = None
+        self.wal.append(
+            REC_TM_COMMIT if commit else REC_TM_ABORT, t.txn_id, sim.now
+        )
+        if commit:
+            self.commits_decided += 1
+            oracle = self.owner.store.oracle
+            self.owner.grade_commit(t.txn_id, t.writes_by_key)
+            for key in sorted(t.writes_by_key):
+                version = t.writes_by_key[key]
+                oracle.note_write_start(
+                    key, version, n_replicas=self._replica_count(key)
+                )
+                oracle.note_write_acked(key, version)
+        else:
+            self.aborts_decided += 1
+        self.owner.txn_decided(t.txn_id, commit, reason)
+        self._send_decisions(t)
+        t.retry_event = sim.schedule(
+            self.owner.config.retry_interval, self._retry_decision, t.txn_id
+        )
+
+    def _replica_count(self, key: str) -> int:
+        st = self.owner.store
+        return len(st.strategy.replicas(key, st.ring, st.topology))
+
+    def _send_decisions(self, t: _TmTxn) -> None:
+        st = self.owner.store
+        commit = t.decision == "commit"
+        for r in t.participants:
+            if r in t.acks:
+                continue
+            st.network.send(
+                self.node_id,
+                r,
+                st.sizes.digest,
+                self.owner.participants[r].on_decision,
+                t.txn_id,
+                self.node_id,
+                commit,
+            )
+
+    def _retry_decision(self, txn_id: int) -> None:
+        t = self._active.get(txn_id)
+        if t is None or t.decision is None:
+            return
+        if self._node().up:
+            self._send_decisions(t)
+        t.retry_event = self._sim().schedule(
+            self.owner.config.retry_interval, self._retry_decision, txn_id
+        )
+
+    def on_ack(self, txn_id: int, node_id: int) -> None:
+        """A participant acknowledged the decision."""
+        if not self._node().up:
+            return
+        t = self._active.get(txn_id)
+        if t is None or t.decision is None:
+            return
+        t.acks.add(node_id)
+        if len(t.acks) == len(t.participants):
+            if t.retry_event is not None:
+                t.retry_event.cancel()
+            self.wal.append(REC_TM_END, txn_id, self._sim().now)
+            del self._active[txn_id]
+
+    # -- in-doubt resolution ------------------------------------------------------
+
+    def on_status_query(self, txn_id: int, from_node: int) -> None:
+        """A prepared participant asks for the verdict (presumed abort)."""
+        if not self._node().up:
+            return
+        decision = self.wal.tm_decision(txn_id)
+        if decision is None:
+            if txn_id in self._active:
+                return  # still collecting votes; the participant polls again
+            decision = "abort"  # no knowledge of the transaction: abort
+        st = self.owner.store
+        st.network.send(
+            self.node_id,
+            from_node,
+            st.sizes.digest,
+            self.owner.participants[from_node].on_decision,
+            txn_id,
+            self.node_id,
+            decision == "commit",
+        )
+
+    # -- crash / recovery ---------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Volatile state is lost; undecided rounds will presumed-abort."""
+        for t in self._active.values():
+            if t.timeout_event is not None:
+                t.timeout_event.cancel()
+            if t.retry_event is not None:
+                t.retry_event.cancel()
+        self._active.clear()
+
+    def on_recover(self) -> None:
+        """Drive every unfinished round in the WAL to ``tm-end``."""
+        sim = self._sim()
+        for rec in self.wal.tm_unfinished():
+            txn_id = rec.txn_id
+            if txn_id in self._active:
+                continue  # pragma: no cover - active implies pre-crash state
+            decision = self.wal.tm_decision(txn_id)
+            participants = [int(p) for p in rec.data["participants"]]
+            t = _TmTxn(txn_id, participants)
+            if decision is None:
+                # Crashed before deciding: no participant can hold a commit,
+                # so the round resolves to abort (the presumed-abort rule).
+                self.wal.append(REC_TM_ABORT, txn_id, sim.now)
+                self.aborts_decided += 1
+                self.owner.txn_decided(txn_id, False, "tm-crash")
+                t.decision = "abort"
+            else:
+                t.decision = decision
+            self.recovery_resolved += 1
+            self._active[txn_id] = t
+            self._send_decisions(t)
+            t.retry_event = sim.schedule(
+                self.owner.config.retry_interval, self._retry_decision, txn_id
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TransactionManager(node={self.node_id}, active={len(self._active)}, "
+            f"commits={self.commits_decided}, aborts={self.aborts_decided})"
+        )

@@ -1,0 +1,148 @@
+"""Per-node write-ahead logs for two-phase commit.
+
+Each node keeps one append-only log shared by its two transaction roles
+(participant and transaction manager). The log is the *durable* half of a
+node: when the failure injector crashes a node, every in-memory structure
+(prepare locks, vote state, the TM's in-flight table) is wiped, and the
+recovery pass rebuilds exactly what the log proves -- which is what makes
+the crash-window tests meaningful rather than trivial.
+
+Record kinds (presumed-abort 2PC):
+
+==============  =====================================================
+``prepare``     participant voted YES; payload carries the buffered
+                writes so a recovered node can still apply them
+``commit``      participant learned COMMIT and applied its writes
+``abort``       participant learned ABORT and discarded its writes
+``tm-begin``    TM started a commit round; payload carries the
+                participant list (the recovery pass needs it)
+``tm-commit``   TM's forced commit decision -- the transaction's
+                one-record commit point
+``tm-abort``    TM's abort decision (not strictly required under
+                presumed abort, logged for observability)
+``tm-end``      every participant acknowledged the decision; the
+                transaction needs no further recovery work
+==============  =====================================================
+
+A participant is **in doubt** when its log holds a ``prepare`` without a
+matching ``commit``/``abort``; a TM round is **unfinished** when it holds a
+``tm-begin`` without ``tm-end``. Both queries iterate in LSN order, so
+recovery actions replay in a deterministic sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "WalRecord",
+    "WriteAheadLog",
+    "REC_PREPARE",
+    "REC_COMMIT",
+    "REC_ABORT",
+    "REC_TM_BEGIN",
+    "REC_TM_COMMIT",
+    "REC_TM_ABORT",
+    "REC_TM_END",
+]
+
+REC_PREPARE = "prepare"
+REC_COMMIT = "commit"
+REC_ABORT = "abort"
+REC_TM_BEGIN = "tm-begin"
+REC_TM_COMMIT = "tm-commit"
+REC_TM_ABORT = "tm-abort"
+REC_TM_END = "tm-end"
+
+#: Participant-side records that resolve an in-doubt ``prepare``.
+_DECISIONS = (REC_COMMIT, REC_ABORT)
+#: TM-side decision records.
+_TM_DECISIONS = (REC_TM_COMMIT, REC_TM_ABORT)
+
+
+class WalRecord:
+    """One durable log entry."""
+
+    __slots__ = ("lsn", "txn_id", "kind", "time", "data")
+
+    def __init__(self, lsn: int, txn_id: int, kind: str, time: float, data: Dict[str, Any]):
+        self.lsn = lsn
+        self.txn_id = txn_id
+        self.kind = kind
+        self.time = time
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WalRecord(lsn={self.lsn}, txn={self.txn_id}, {self.kind})"
+
+
+class WriteAheadLog:
+    """Append-only per-node log with per-transaction indexing.
+
+    ``append`` is the only mutator; there is no truncation (simulated runs
+    are bounded, and keeping every record makes the end-of-run audit --
+    counting transactions still in doubt -- a pure log scan).
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = int(node_id)
+        self.records: List[WalRecord] = []
+        self._by_txn: Dict[int, List[WalRecord]] = {}
+
+    def append(self, kind: str, txn_id: int, time: float, **data: Any) -> WalRecord:
+        """Durably append one record and return it."""
+        rec = WalRecord(len(self.records), int(txn_id), kind, float(time), data)
+        self.records.append(rec)
+        self._by_txn.setdefault(rec.txn_id, []).append(rec)
+        return rec
+
+    def records_for(self, txn_id: int) -> List[WalRecord]:
+        """All records of one transaction, in LSN order."""
+        return list(self._by_txn.get(int(txn_id), ()))
+
+    def kinds_for(self, txn_id: int) -> Tuple[str, ...]:
+        """The record kinds logged for one transaction, in LSN order."""
+        return tuple(r.kind for r in self._by_txn.get(int(txn_id), ()))
+
+    def prepare_record(self, txn_id: int) -> Optional[WalRecord]:
+        """The ``prepare`` record of a transaction, if one was logged."""
+        for rec in self._by_txn.get(int(txn_id), ()):
+            if rec.kind == REC_PREPARE:
+                return rec
+        return None
+
+    def in_doubt(self) -> List[int]:
+        """Transactions prepared here but never decided, in prepare order."""
+        out: List[int] = []
+        for rec in self.records:
+            if rec.kind != REC_PREPARE:
+                continue
+            kinds = self.kinds_for(rec.txn_id)
+            if not any(k in _DECISIONS for k in kinds):
+                out.append(rec.txn_id)
+        return out
+
+    def tm_decision(self, txn_id: int) -> Optional[str]:
+        """``"commit"``/``"abort"`` if this node's TM decided, else ``None``."""
+        for rec in self._by_txn.get(int(txn_id), ()):
+            if rec.kind == REC_TM_COMMIT:
+                return "commit"
+            if rec.kind == REC_TM_ABORT:
+                return "abort"
+        return None
+
+    def tm_unfinished(self) -> List[WalRecord]:
+        """``tm-begin`` records without a matching ``tm-end``, in LSN order."""
+        out: List[WalRecord] = []
+        for rec in self.records:
+            if rec.kind != REC_TM_BEGIN:
+                continue
+            if REC_TM_END not in self.kinds_for(rec.txn_id):
+                out.append(rec)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WriteAheadLog(node={self.node_id}, records={len(self.records)})"

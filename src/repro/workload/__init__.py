@@ -26,7 +26,16 @@ from repro.workload.distributions import (
     ExponentialChooser,
     make_chooser,
 )
-from repro.workload.workloads import WorkloadSpec, WORKLOADS, heavy_read_update
+from repro.workload.workloads import (
+    WorkloadSpec,
+    WORKLOADS,
+    heavy_read_update,
+    TxnWorkloadSpec,
+    TXN_WORKLOADS,
+    bank_transfer_mix,
+    read_modify_write_mix,
+    order_checkout_mix,
+)
 from repro.workload.client import ClosedLoopClient, OpenLoopSource, WorkloadRunner, RunReport
 from repro.workload.traces import TraceRecord, TraceRecorder, PhasedTraceGenerator
 
@@ -42,6 +51,11 @@ __all__ = [
     "WorkloadSpec",
     "WORKLOADS",
     "heavy_read_update",
+    "TxnWorkloadSpec",
+    "TXN_WORKLOADS",
+    "bank_transfer_mix",
+    "read_modify_write_mix",
+    "order_checkout_mix",
     "ClosedLoopClient",
     "OpenLoopSource",
     "WorkloadRunner",

@@ -19,7 +19,7 @@ staleness / traffic numbers every experiment consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -30,11 +30,21 @@ from repro.cluster.store import ReplicatedStore
 from repro.policy import ConsistencyPolicy, StaticPolicy
 from repro.workload.workloads import WorkloadSpec
 
-__all__ = ["ClosedLoopClient", "OpenLoopSource", "WorkloadRunner", "RunReport"]
+__all__ = [
+    "ClosedLoopClient",
+    "OpenLoopSource",
+    "WorkloadRunner",
+    "RunReport",
+    "LevelUsage",
+]
 
 
-class _LevelUsage:
-    """Store listener counting operations per consistency-level label."""
+class LevelUsage:
+    """Store listener counting operations per consistency-level label.
+
+    Shared by the single-op and transactional runners -- the per-level
+    read mix is how reports show what an adaptive policy actually did.
+    """
 
     def __init__(self) -> None:
         self.read_levels: Dict[str, int] = {}
@@ -43,6 +53,10 @@ class _LevelUsage:
     def on_op_complete(self, result: OpResult) -> None:
         table = self.read_levels if result.kind == "read" else self.write_levels
         table[result.level_label] = table.get(result.level_label, 0) + 1
+
+
+#: Backwards-compatible private alias (pre-existing internal name).
+_LevelUsage = LevelUsage
 
 
 class ClosedLoopClient:
@@ -246,6 +260,10 @@ class RunReport:
     read_levels: Dict[str, int] = field(default_factory=dict)
     write_levels: Dict[str, int] = field(default_factory=dict)
     mean_propagation: float = 0.0
+    #: transactional metrics (commit/abort/in-doubt counts, commit latency
+    #: percentiles) when the run was driven by the txn harness; ``None``
+    #: for plain single-op runs.
+    txn: Optional[Dict[str, Any]] = None
 
     def level_mix(self) -> str:
         """Compact ``label:count`` summary of read levels used (for reports)."""

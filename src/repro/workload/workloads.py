@@ -12,7 +12,7 @@ workload A's 50/50 read/update mix at maximum offered load -- with
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,11 @@ __all__ = [
     "heavy_read_update",
     "flash_crowd",
     "read_mostly_latest",
+    "TxnWorkloadSpec",
+    "TXN_WORKLOADS",
+    "bank_transfer_mix",
+    "read_modify_write_mix",
+    "order_checkout_mix",
 ]
 
 
@@ -174,6 +179,162 @@ def read_mostly_latest(
         record_count=record_count,
         value_size=value_size,
     )
+
+
+@dataclass
+class TxnWorkloadSpec:
+    """Declarative multi-key transaction mix.
+
+    Every transaction touches ``n_keys`` *distinct* keys drawn from the
+    spec's key distribution; ``read_slots`` / ``write_slots`` name which of
+    those key positions are read and which are written (a slot may appear
+    in both -- that is the read-modify-write shape whose commit-time
+    validation makes stale reads abort).
+
+    Attributes
+    ----------
+    name:
+        Report label.
+    n_keys:
+        Distinct keys per transaction.
+    read_slots / write_slots:
+        Indices in ``range(n_keys)`` read (before commit) and written
+        (buffered, atomically applied at commit).
+    record_count / value_size / distribution / distribution_kwargs:
+        Key population and skew, as in :class:`WorkloadSpec`.
+    """
+
+    name: str
+    n_keys: int
+    read_slots: Tuple[int, ...]
+    write_slots: Tuple[int, ...]
+    record_count: int = 1000
+    value_size: int = 1000
+    distribution: str = "zipfian"
+    distribution_kwargs: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_keys < 1:
+            raise ConfigError(f"n_keys must be >= 1, got {self.n_keys}")
+        for label, slots in (("read_slots", self.read_slots), ("write_slots", self.write_slots)):
+            for s in slots:
+                if not (0 <= s < self.n_keys):
+                    raise ConfigError(f"{label} index {s} outside 0..{self.n_keys - 1}")
+        if not self.read_slots and not self.write_slots:
+            raise ConfigError("a transaction mix needs at least one read or write slot")
+        if self.record_count < self.n_keys:
+            raise ConfigError(
+                f"record_count {self.record_count} < n_keys {self.n_keys}: "
+                "transactions could never draw distinct keys"
+            )
+        if self.value_size <= 0:
+            raise ConfigError(f"value_size must be > 0, got {self.value_size}")
+
+    def make_chooser(self, rng: "np.random.Generator | int | None" = None) -> KeyChooser:
+        """Instantiate this spec's key chooser."""
+        return make_chooser(
+            self.distribution, self.record_count, rng=rng, **self.distribution_kwargs
+        )
+
+    def key_of(self, index: int) -> str:
+        """YCSB key naming (shared with the single-op specs)."""
+        return f"user{index}"
+
+    def data_size_bytes(self) -> int:
+        """Total logical data size (records x value size), for billing."""
+        return self.record_count * self.value_size
+
+    def sample_keys(self, chooser: KeyChooser) -> Tuple[str, ...]:
+        """Draw ``n_keys`` distinct keys from the skewed distribution.
+
+        Rejection-samples the chooser (bounded), then falls back to a
+        deterministic linear probe so a pathological hot-spot distribution
+        can never stall a client. All randomness comes from the chooser --
+        nothing else is consumed, which keeps client RNG streams stable.
+        """
+        indices: list = []
+        for _ in range(8 * self.n_keys):
+            if len(indices) == self.n_keys:
+                break
+            idx = chooser.next_index()
+            if idx not in indices:
+                indices.append(idx)
+        probe = indices[-1] if indices else 0
+        while len(indices) < self.n_keys:
+            probe = (probe + 1) % self.record_count
+            if probe not in indices:
+                indices.append(probe)
+        return tuple(self.key_of(i) for i in indices)
+
+    def scaled(self, record_count: int, name: Optional[str] = None) -> "TxnWorkloadSpec":
+        """Copy of this spec at a different population size."""
+        return replace(
+            self, record_count=record_count, name=name or f"{self.name}@{record_count}"
+        )
+
+
+def bank_transfer_mix(
+    record_count: int = 1000, value_size: int = 1000, distribution: str = "zipfian"
+) -> TxnWorkloadSpec:
+    """Move money between two accounts: read both, write both.
+
+    The canonical lost-update workload -- both balances are derived from
+    the values read, so a stale read silently destroys a concurrent
+    deposit unless commit-time validation (or a strong read level)
+    intervenes.
+    """
+    return TxnWorkloadSpec(
+        name="bank-transfer",
+        n_keys=2,
+        read_slots=(0, 1),
+        write_slots=(0, 1),
+        record_count=record_count,
+        value_size=value_size,
+        distribution=distribution,
+    )
+
+
+def read_modify_write_mix(
+    record_count: int = 1000, value_size: int = 1000, distribution: str = "zipfian"
+) -> TxnWorkloadSpec:
+    """Single-key read-modify-write (YCSB-F, made atomic)."""
+    return TxnWorkloadSpec(
+        name="read-modify-write",
+        n_keys=1,
+        read_slots=(0,),
+        write_slots=(0,),
+        record_count=record_count,
+        value_size=value_size,
+        distribution=distribution,
+    )
+
+
+def order_checkout_mix(
+    record_count: int = 1000, value_size: int = 1000
+) -> TxnWorkloadSpec:
+    """Web-shop checkout: read catalog/cart/stock, write stock + order row.
+
+    Reads fan out wider than writes (3 reads, 2 writes over 4 keys) and
+    only the stock key is both read and written, so validation conflicts
+    concentrate on inventory -- the contended resource of a real checkout.
+    """
+    return TxnWorkloadSpec(
+        name="order-checkout",
+        n_keys=4,
+        read_slots=(0, 1, 2),
+        write_slots=(2, 3),
+        record_count=record_count,
+        value_size=value_size,
+        distribution="zipfian",
+    )
+
+
+#: The built-in transactional mixes, keyed by mix name.
+TXN_WORKLOADS: Dict[str, TxnWorkloadSpec] = {
+    "bank-transfer": bank_transfer_mix(),
+    "read-modify-write": read_modify_write_mix(),
+    "order-checkout": order_checkout_mix(),
+}
 
 
 def _core(name: str, **kw) -> WorkloadSpec:

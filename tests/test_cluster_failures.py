@@ -21,13 +21,27 @@ class TestHintStore:
         assert h.pending_for(3) == 0
         assert h.replayed == 1
 
-    def test_overflow(self):
+    def test_cap_evicts_oldest_and_counts_drops(self):
         h = HintStore(max_hints_per_node=2)
-        v = Version(1.0, 1, 10)
-        for _ in range(5):
-            h.add(1, "k", v)
+        versions = [Version(float(i), i, 10) for i in range(5)]
+        for i, v in enumerate(versions):
+            h.add(1, f"k{i}", v)
+        # The cap holds: only the 2 newest hints survive, oldest went first.
         assert h.pending_for(1) == 2
-        assert h.overflowed == 3
+        assert h.dropped == 3
+        assert h.stored == 5
+        drained = h.drain(1)
+        assert drained == [("k3", versions[3]), ("k4", versions[4])]
+
+    def test_cap_never_exceeded_interleaved_with_drains(self):
+        h = HintStore(max_hints_per_node=3)
+        for i in range(10):
+            h.add(2, f"k{i}", Version(float(i), i, 10))
+            assert h.pending_for(2) <= 3
+        assert len(h.drain(2)) == 3
+        h.add(2, "fresh", Version(11.0, 11, 10))
+        assert h.pending_for(2) == 1
+        assert h.dropped == 7
 
     def test_drain_unknown_node(self):
         assert HintStore().drain(9) == []
@@ -81,6 +95,53 @@ class TestFailureInjector:
         inj = FailureInjector(store)
         with pytest.raises(ConfigError):
             inj.partition(0, 1, at=0.0, duration=-1.0)
+
+    def test_recovery_hint_replay_notifies_propagation_listeners(self, store):
+        # A write whose replica was down propagates for real only when the
+        # hint replays at recovery; monitors must see that completion
+        # through the same on_write_propagated path normal writes use.
+        class Probe:
+            def __init__(self):
+                self.propagated = []
+
+            def on_op_complete(self, result):
+                pass
+
+            def on_write_propagated(self, result):
+                self.propagated.append(result)
+
+        probe = Probe()
+        store.add_listener(probe)
+        replicas = store.strategy.replicas("k", store.ring, store.topology)
+        target = replicas[0]
+        store.nodes[target].crash()
+        store.sim.schedule_at(0.1, store.write, "k", 1, None)
+        store.sim.run()
+        before = len(probe.propagated)
+        store.sim.schedule_at(store.sim.now + 0.5, store.on_node_recover, target)
+        store.sim.run()
+        replays = probe.propagated[before:]
+        assert len(replays) == 1
+        assert replays[0].level_label == "hint-replay"
+        assert replays[0].key == "k"
+        # The observed delay spans the downtime (write start -> replay apply).
+        assert replays[0].ack_delays[0] > 0.5
+
+    def test_node_listeners_see_crash_and_recovery(self, store):
+        events = []
+
+        class Listener:
+            def on_node_crash(self, node_id):
+                events.append(("crash", node_id))
+
+            def on_node_recover(self, node_id):
+                events.append(("recover", node_id))
+
+        store.add_node_listener(Listener())
+        inj = FailureInjector(store)
+        inj.crash_node(2, at=1.0, duration=2.0)
+        store.sim.run(until=5.0)
+        assert events == [("crash", 2), ("recover", 2)]
 
     def test_hints_replayed_after_recovery(self, store):
         # crash a replica of "k", write, recover: hint should patch it
@@ -156,6 +217,41 @@ class TestAntiEntropyRepair:
         store.sim.run(until=2.0)
         assert repair.sweeps >= 3
         assert repair.keys_examined == 0
+
+    def test_all_replicas_down_mid_sweep_is_a_no_op(self, store):
+        # The crash-window path: every replica of the sampled key is down
+        # when the sweep fires. Nothing may stream and nothing may crash.
+        store.sim.schedule_at(0.0, store.write, "k", 1, None, None, 0)
+        store.sim.run()
+        replicas = store.strategy.replicas("k", store.ring, store.topology)
+        for r in replicas:
+            store.nodes[r].crash()
+        repair = AntiEntropyRepair(store, interval=0.5, sample_fraction=1.0, rng=0)
+        repair.start()
+        store.sim.run(until=1.2)
+        repair.stop()
+        store.sim.run(until=2.0)
+        assert repair.sweeps >= 2
+        assert repair.keys_examined >= 1  # the key was sampled...
+        assert repair.repairs_streamed == 0  # ...but nothing was streamed
+        # Replica data is untouched (no half-repair while down).
+        before = {r: store.nodes[r].data.get("k") for r in replicas}
+        for r in replicas:
+            store.on_node_recover(r)
+        assert {r: store.nodes[r].data.get("k") for r in replicas} == before
+
+    def test_key_vanished_from_all_replicas_mid_sweep(self, store):
+        # Even harder crash-window shape: the key is in the written-key
+        # population but no replica holds any version (e.g. the write was
+        # dropped everywhere). _repair_key must bail out cleanly.
+        store._written_set.add("ghost")
+        store._written_keys.append("ghost")
+        repair = AntiEntropyRepair(store, interval=0.5, sample_fraction=1.0, rng=0)
+        repair.start()
+        store.sim.run(until=1.2)
+        repair.stop()
+        assert repair.keys_examined >= 1
+        assert repair.repairs_streamed == 0
 
     def test_skips_down_replicas(self, store):
         store.network.partition_dcs(0, 1)

@@ -1,0 +1,237 @@
+"""Crash-recovery property tests: atomicity through every crash window.
+
+The acceptance property: a node crashed at *any* point between PREPARE and
+COMMIT recovers via its WAL to a state where every transaction is either
+atomically applied (all written keys, all replicas) or fully absent -- once
+the cluster settles, no partial write is observable at any read level.
+
+The tests sweep the crash instant across the whole commit window (before
+the prepare arrives, while prepared, after the decision, during the ack
+round) for both a participant and the transaction manager, then assert
+the all-or-nothing invariant on the settled cluster state and on actual
+reads at every consistency level. A final test pins down that recovery
+ordering itself is deterministic (byte-identical WAL streams).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.replication import SimpleStrategy
+from repro.cluster.store import ReplicatedStore, StoreConfig
+from repro.net.latency import FixedLatency
+from repro.net.topology import Datacenter, LinkClass, Topology
+from repro.simcore.simulator import Simulator
+from repro.txn.api import TransactionalStore, TxnConfig
+
+#: Fast protocol clocks so every window closes within simulated seconds.
+FAST = TxnConfig(
+    prepare_timeout=0.05, client_timeout=0.2, retry_interval=0.01, status_interval=0.01
+)
+
+#: With FixedLatency(0.0005) the uncontended commit timeline is:
+#: prepare arrives +0.5 ms, votes land +1 ms (decision), commit messages
+#: arrive +1.5 ms, acks land +2 ms. The sweep brackets all of it.
+CRASH_TIMES = [
+    0.0002, 0.0004, 0.0006, 0.0009, 0.0012, 0.0014, 0.0016, 0.0019,
+    0.0022, 0.0025, 0.0030, 0.0035,
+]
+
+
+def build():
+    topo = Topology(
+        [Datacenter("dc", "r")],
+        [5],
+        latency={LinkClass.INTRA_DC: FixedLatency(0.0005)},
+    )
+    store = ReplicatedStore(
+        Simulator(),
+        topo,
+        strategy=SimpleStrategy(rf=3),
+        config=StoreConfig(seed=2, read_repair_chance=0.0),
+    )
+    tstore = TransactionalStore(store, config=FAST)
+    return store, tstore
+
+
+def txn_versions_present(store, tstore, keys):
+    """Per (key, replica): does it hold the transaction's exact version?
+
+    The scripted transaction is the only writer, so "the transaction's
+    version" is any version newer than the preloaded one.
+    """
+    flags = []
+    for key in keys:
+        for r in store.strategy.replicas(key, store.ring, store.topology):
+            v = store.nodes[r].data.get(key)
+            flags.append(v is not None and v.size == 77)
+    return flags
+
+
+def assert_atomic(store, tstore, keys, outcomes):
+    """The all-or-nothing invariant, checked three ways."""
+    flags = txn_versions_present(store, tstore, keys)
+    assert all(flags) or not any(flags), (
+        f"partial transaction visible: {flags} (outcomes={outcomes})"
+    )
+    # Nothing may stay in doubt or locked once the cluster has settled.
+    assert tstore.in_doubt_now() == 0
+    assert all(not p.locks for p in tstore.participants)
+    # No read level may observe a mix: at every level, every key agrees on
+    # whether the transaction happened.
+    levels_seen = set()
+    for level in (1, 2, 3):
+        results = []
+        for key in keys:
+            store.read(key, level, results.append)
+        store.sim.run(until=store.sim.now + 1.0)
+        got = tuple(r.ok and r.version is not None and r.version.size == 77 for r in results)
+        assert len(set(got)) == 1, f"level {level} sees a partial txn: {got}"
+        levels_seen.add(got[0])
+    assert len(levels_seen) == 1  # all levels agree with the settled state
+    return all(flags)
+
+
+def run_scripted_txn(crash_node, crash_at, recover_after=0.05):
+    """One scripted two-key transaction with a crash injected mid-window."""
+    store, tstore = build()
+    keys = ["user0", "user1"]
+    store.preload(keys, value_size=10)
+    outcomes = []
+
+    def go():
+        txn = tstore.begin(coordinator=1)
+        for key in keys:
+            txn.read(key)
+            txn.write(key, 77)
+        txn.commit(outcomes.append)
+
+    store.sim.schedule(0.0, go)
+    store.sim.schedule_at(crash_at, store.on_node_crash, crash_node)
+    store.sim.schedule_at(crash_at + recover_after, store.on_node_recover, crash_node)
+    store.sim.run(until=5.0)
+    return store, tstore, keys, outcomes
+
+
+def participant_nodes():
+    """The replica set of the scripted transaction's keys (stable: seed 2)."""
+    store, _ = build()
+    nodes = set()
+    for key in ("user0", "user1"):
+        nodes.update(store.strategy.replicas(key, store.ring, store.topology))
+    return sorted(nodes)
+
+
+PARTICIPANTS = participant_nodes()
+
+
+class TestParticipantCrashWindow:
+    @pytest.mark.parametrize("crash_at", CRASH_TIMES)
+    @pytest.mark.parametrize("victim", PARTICIPANTS[:2])
+    def test_atomic_through_any_crash_instant(self, crash_at, victim):
+        store, tstore, keys, outcomes = run_scripted_txn(victim, crash_at)
+        applied = assert_atomic(store, tstore, keys, outcomes)
+        # The client always learns a definite outcome (commit, abort, or an
+        # in-doubt that the recovery pass later resolves).
+        assert len(outcomes) == 1
+        if outcomes[0].status == "committed":
+            assert applied
+        if outcomes[0].status == "aborted":
+            assert not applied
+
+    def test_crash_between_prepare_and_commit_recovers_via_wal(self):
+        # Crash exactly while prepared (vote sent, decision logged by the
+        # TM but not yet delivered): the recovered node must learn COMMIT
+        # through its WAL + status query and apply the buffered writes.
+        store, tstore = build()
+        keys = ["user0", "user1"]
+        store.preload(keys, value_size=10)
+        victim = next(p for p in PARTICIPANTS if p != 1)
+        outcomes = []
+
+        def go():  # write-only: prepare +0.5ms, decision +1ms, commit +1.5ms
+            txn = tstore.begin(coordinator=1)
+            for key in keys:
+                txn.write(key, 77)
+            txn.commit(outcomes.append)
+
+        store.sim.schedule(0.0, go)
+        store.sim.schedule_at(0.0012, store.on_node_crash, victim)
+        store.sim.schedule_at(0.05, store.on_node_recover, victim)
+        store.sim.run(until=5.0)
+
+        assert outcomes[0].status == "committed"  # decided before the crash
+        assert tstore.participants[victim].in_doubt_recovered == 1
+        assert assert_atomic(store, tstore, keys, outcomes)
+
+    def test_crash_wipes_volatile_state_only(self):
+        store, tstore = build()
+        keys = ["user0"]
+        store.preload(keys, value_size=10)
+
+        def go():
+            txn = tstore.begin(coordinator=1)
+            txn.write("user0", 77)
+            txn.commit()
+
+        victim = store.strategy.replicas("user0", store.ring, store.topology)[0]
+        store.sim.schedule(0.0, go)
+        store.sim.schedule_at(0.0009, store.on_node_crash, victim)
+        store.sim.run(until=0.001)
+        p = tstore.participants[victim]
+        assert not p.locks and not p.prepared  # volatile state gone
+        assert len(p.wal) >= 1  # the WAL survived the crash
+
+
+class TestTmCrashWindow:
+    @pytest.mark.parametrize("crash_at", CRASH_TIMES)
+    def test_atomic_through_any_tm_crash_instant(self, crash_at):
+        # Node 1 coordinates the scripted transaction (and may also be a
+        # participant), so this sweeps TM crashes across the whole round.
+        store, tstore, keys, outcomes = run_scripted_txn(1, crash_at)
+        applied = assert_atomic(store, tstore, keys, outcomes)
+        if outcomes and outcomes[0].status == "committed":
+            assert applied
+
+    def test_tm_crash_before_decision_presumed_aborts(self):
+        # Crash the TM after prepares landed but before votes return: every
+        # prepared participant must resolve to abort via the recovery pass.
+        store, tstore = build()
+        keys = ["user0", "user1"]
+        store.preload(keys, value_size=10)
+        outcomes = []
+
+        def go():  # write-only: prepares land +0.5ms, votes land +1ms
+            txn = tstore.begin(coordinator=1)
+            for key in keys:
+                txn.write(key, 77)
+            txn.commit(outcomes.append)
+
+        store.sim.schedule(0.0, go)
+        store.sim.schedule_at(0.0007, store.on_node_crash, 1)
+        store.sim.schedule_at(0.05, store.on_node_recover, 1)
+        store.sim.run(until=5.0)
+
+        assert not any(txn_versions_present(store, tstore, keys))
+        assert tstore.in_doubt_now() == 0
+        # The abort surfaced through the TM's recovery pass, not silence.
+        assert tstore.tms[1].recovery_resolved == 1
+        assert [o.status for o in outcomes] == ["aborted"]
+        assert outcomes[0].reason == "tm-crash"
+
+
+class TestRecoveryDeterminism:
+    def wal_fingerprint(self, tstore):
+        return [
+            (w.node_id, r.lsn, r.txn_id, r.kind, round(r.time, 9))
+            for w in tstore.wals
+            for r in w.records
+        ]
+
+    @pytest.mark.parametrize("crash_at", [0.0009, 0.0014])
+    def test_recovery_ordering_byte_identical(self, crash_at):
+        a = run_scripted_txn(PARTICIPANTS[0], crash_at)
+        b = run_scripted_txn(PARTICIPANTS[0], crash_at)
+        assert self.wal_fingerprint(a[1]) == self.wal_fingerprint(b[1])
+        assert [o.status for o in a[3]] == [o.status for o in b[3]]
+        assert a[1].txn_summary() == b[1].txn_summary()
