@@ -1,0 +1,62 @@
+"""Benchmarks for the elastic cluster subsystem.
+
+Tracks the wall-clock of (a) the exact O(V) ownership-fraction computation
+(which replaced a 20k-key sampling loop and must stay trivially cheap),
+(b) incremental ring membership with its exact ownership diff on a large
+ring, and (c) an end-to-end streaming scale-out under foreground traffic --
+a regression here means migration work is interfering with the hot path.
+"""
+
+from repro.cluster.ring import TokenRing
+from repro.elastic import ElasticSpec, RebalanceConfig, deploy_and_run_elastic
+from repro.experiments.platforms import small_dc_platform
+from repro.experiments.runner import harmony_factory
+
+BENCH_OPS = 3000
+
+
+def test_ownership_fractions_exact(benchmark):
+    ring = TokenRing(96, vnodes=64)
+
+    def run():
+        return ring.ownership_fractions()
+
+    fractions = benchmark(run)
+    assert abs(fractions.sum() - 1.0) < 1e-9
+
+
+def test_ring_membership_diff(benchmark):
+    def run():
+        ring = TokenRing(96, vnodes=64)
+        added = ring.add_node(96)
+        removed = ring.remove_node(40)
+        return added, removed
+
+    added, removed = benchmark(run)
+    assert added and removed
+    assert all(m.new_owner == 96 for m in added)
+    assert all(m.old_owner == 40 for m in removed)
+
+
+def test_streaming_scale_out(benchmark):
+    def script(cluster):
+        cluster.store.sim.schedule_at(0.05, cluster.bootstrap_node, 0)
+
+    def run():
+        return deploy_and_run_elastic(
+            small_dc_platform(),
+            harmony_factory(0.3),
+            ElasticSpec(
+                script=script,
+                rebalance=RebalanceConfig(pump_interval=0.005, attempt_timeout=0.1),
+            ),
+            ops=BENCH_OPS,
+            clients=24,
+            seed=3,
+        )
+
+    out = benchmark(run)
+    block = out.report.elastic
+    assert block["scale_outs"] == 1
+    assert block["pending_final"] == 0
+    assert block["keys_streamed"] > 0

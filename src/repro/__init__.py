@@ -12,6 +12,8 @@ substrate they need, built from scratch:
 - a YCSB-compatible workload generator (:mod:`repro.workload`);
 - atomic multi-key transactions: presumed-abort 2PC, per-node write-ahead
   logs and crash recovery over the same store (:mod:`repro.txn`);
+- cluster elasticity: live membership, crash-safe streaming rebalance and
+  cost-aware autoscaling (:mod:`repro.elastic`);
 - a probabilistic stale-read model validated three ways
   (:mod:`repro.stale`);
 - an EC2-style three-part billing model (:mod:`repro.cost`);
@@ -44,6 +46,15 @@ from repro.bismar import BismarEngine
 from repro.cost import PriceBook, EC2_US_EAST_2013, Biller, CostEstimator
 from repro.behavior import BehaviorModel, BehaviorPolicy
 from repro.txn import TransactionalStore, TxnConfig, TxnRunner
+from repro.elastic import (
+    AutoscalerConfig,
+    CostAwareAutoscaler,
+    ElasticCluster,
+    ElasticSpec,
+    RebalanceConfig,
+    StreamingRebalancer,
+    deploy_and_run_elastic,
+)
 from repro.workload import (
     WorkloadRunner,
     WorkloadSpec,
@@ -88,6 +99,13 @@ __all__ = [
     "TransactionalStore",
     "TxnConfig",
     "TxnRunner",
+    "AutoscalerConfig",
+    "CostAwareAutoscaler",
+    "ElasticCluster",
+    "ElasticSpec",
+    "RebalanceConfig",
+    "StreamingRebalancer",
+    "deploy_and_run_elastic",
     "TxnWorkloadSpec",
     "bank_transfer_mix",
     "__version__",

@@ -111,6 +111,29 @@ def _e5_behavior(args) -> None:
 def _scenarios(args) -> None:
     from repro.experiments import scenarios
 
+    if getattr(args, "json", False):
+        import json
+
+        doc = []
+        for name in scenarios.names():
+            spec = scenarios.get(name)
+            doc.append(
+                {
+                    "name": name,
+                    "description": spec.description,
+                    "params": {k: spec.defaults[k] for k in sorted(spec.defaults)},
+                    "tags": sorted(spec.tags),
+                    "kind": (
+                        "elastic"
+                        if spec.elastic is not None
+                        else "txn"
+                        if spec.txn_workload is not None
+                        else "plain"
+                    ),
+                }
+            )
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return
     for name in scenarios.names():
         spec = scenarios.get(name)
         defaults = " ".join(f"{k}={v}" for k, v in sorted(spec.defaults.items()))
@@ -178,6 +201,59 @@ def _txn(args) -> None:
     print(table.render())
 
 
+def _elastic(args) -> None:
+    from repro.common.tables import Table
+    from repro.experiments import scenarios
+
+    name = args.scenario
+    spec = scenarios.get(name)
+    if spec.elastic is None:
+        elastic_names = [
+            n for n in scenarios.names() if scenarios.get(n).elastic is not None
+        ]
+        raise ConfigError(
+            f"{name!r} is not an elastic scenario; choose from {elastic_names}"
+        )
+    run = spec.run(seed=args.seed, ops=args.ops)
+    m = run.metrics()
+    e = m["elastic"]
+
+    table = Table(
+        f"{name}: {spec.description}",
+        ["metric", "value"],
+    )
+    table.add_row(["policy", m["policy"]])
+    table.add_row(["ops completed", m["ops_completed"]])
+    table.add_row(["throughput (ops/s)", f"{m['throughput_ops_s']:.0f}"])
+    table.add_row(["read p99 (ms)", f"{m['read_latency_p99_ms']:.2f}"])
+    table.add_row(["stale rate", f"{m['stale_rate']:.4f}"])
+    table.add_row(["cost per kop ($)", f"{m['cost_per_kop_usd']:.6f}"])
+    table.add_row(["nodes initial -> final", f"{e['nodes_initial']} -> {e['nodes_final']}"])
+    table.add_row(["scale-outs / scale-ins", f"{e['scale_outs']} / {e['scale_ins']}"])
+    table.add_row(["token ranges moved", e["ranges_moved"]])
+    table.add_row(["keys streamed", e["keys_streamed"]])
+    table.add_row(["bytes streamed", e["bytes_streamed"]])
+    table.add_row(["re-streams (retries)", e["restreams"]])
+    table.add_row(["pending at end", e["pending_final"]])
+    print(table.render())
+
+    events = e.get("events", [])
+    # Autoscaler decisions annotate the same membership events with the
+    # observed utilization that triggered them (matched by time + node).
+    utils = {
+        (d["t"], d["node"]): d.get("util")
+        for d in (e.get("autoscaler") or {}).get("decisions", [])
+    }
+    if events:
+        print("\nmembership timeline:")
+        for ev in events:
+            util = utils.get((ev["t"], ev["node"]))
+            detail = ev["reason"] + (f", util={util:.2f}" if util is not None else "")
+            print(
+                f"  t={ev['t']:8.3f}s  {ev['kind']:<10s} node {ev['node']}  ({detail})"
+            )
+
+
 def _sweep(args) -> None:
     from repro.experiments.sweep import SweepRunner, parse_grid, plan_sweep
 
@@ -206,6 +282,7 @@ COMMANDS: Dict[str, Callable] = {
     "fig1": _fig1,
     "scenarios": _scenarios,
     "txn": _txn,
+    "elastic": _elastic,
     "sweep": _sweep,
 }
 
@@ -222,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     helps = {
         "scenarios": "list the registered sweep scenarios",
         "txn": "run an atomic multi-key transaction mix under 2PC",
+        "elastic": "run an elastic scenario and print its membership timeline",
         "sweep": "run registered scenarios over a parameter grid in parallel",
     }
     for name in COMMANDS:
@@ -242,6 +320,20 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="NAME",
                 help="read-level policy: eventual, quorum, strong, harmony, "
                 "or all (compare)",
+            )
+        if name == "scenarios":
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="machine-readable listing (name, params, description, "
+                "tags, kind)",
+            )
+        if name == "elastic":
+            p.add_argument(
+                "--scenario",
+                default="elastic-flash-crowd",
+                metavar="NAME",
+                help="elastic scenario to run (default: elastic-flash-crowd)",
             )
         if name == "sweep":
             p.add_argument(

@@ -118,6 +118,8 @@ class _WriteOp:
         "version",
         "acks_total",
         "acks_by_dc",
+        "extra_needed",
+        "extra_acks",
         "done_cb",
         "finished",
         "timeout_event",
@@ -130,6 +132,12 @@ class _WriteOp:
         self.version = version
         self.acks_total = 0
         self.acks_by_dc: Dict[int, int] = {}
+        # Migration pending-endpoint acks: live incoming owners that must
+        # additionally acknowledge before the client ack fires (Cassandra's
+        # raised effective write level during bootstrap). Keeps r+w>RF
+        # freshness valid across the ownership switch.
+        self.extra_needed = 0
+        self.extra_acks = 0
         self.done_cb = done_cb
         self.finished = False
         self.timeout_event = None
@@ -193,12 +201,9 @@ class Coordinator:
         """Coordinate one write; ``done(result)`` fires on ack or failure."""
         st = self.store
         sim = st.sim
-        replicas = st.strategy.replicas(key, st.ring, st.topology)
+        replicas, extra = st.replica_sets(key)
         requirement = resolve_level(
-            level,
-            st.strategy.rf_total,
-            st.strategy.replicas_by_dc(key, st.ring, st.topology),
-            self.dc,
+            level, len(replicas), _count_by_dc(st, replicas), self.dc
         )
         result = OpResult("write", key, sim.now, requirement.label)
         result.value_size = value_size
@@ -219,6 +224,9 @@ class Coordinator:
         st.write_seq += 1
         version = Version(sim.now, st.write_seq, value_size)
         st.oracle.note_write_start(key, version, n_replicas=len(alive))
+        # Mark the write in flight until it settles (ack or timeout): the
+        # rebalancer must not hand this key's ownership off underneath it.
+        st._note_write_dispatched(key)
 
         op = _WriteOp(self, result, requirement, version, done)
         result.replicas_contacted = len(alive)
@@ -230,6 +238,23 @@ class Coordinator:
                 st.network.send(
                     self.node_id, r, msg, node.handle_write, key, version,
                     self._make_write_applied(op),
+                )
+            elif st.hints is not None:
+                st.hints.add(r, key, version)
+        # Forward to incoming owners of a pending migration. Live incoming
+        # owners must acknowledge *in addition to* the level's requirement
+        # (the raised effective write level of a bootstrap): after the ack,
+        # both the old and the new replica set hold the write, so the
+        # ownership switch can never manufacture a stale read. Their acks
+        # stay out of the monitor's ack-delay profile -- the authoritative
+        # set alone defines the observable propagation structure.
+        for r in extra:
+            node = st.nodes[r]
+            if node.up:
+                op.extra_needed += 1
+                st.network.send(
+                    self.node_id, r, msg, node.handle_write, key, version,
+                    self._make_extra_applied(op),
                 )
             elif st.hints is not None:
                 st.hints.add(r, key, version)
@@ -251,6 +276,21 @@ class Coordinator:
 
         return applied
 
+    def _make_extra_applied(self, op: _WriteOp):
+        """Incoming-owner completion: ack home, outside the oracle's count."""
+        st = self.store
+
+        def applied(node_id: int, key: str, version: Version) -> None:
+            st.network.send(
+                node_id, self.node_id, st.sizes.ack, self._on_extra_ack, op
+            )
+
+        return applied
+
+    def _on_extra_ack(self, op: _WriteOp) -> None:
+        op.extra_acks += 1
+        self._maybe_finish_write(op)
+
     def _on_write_ack(self, op: _WriteOp, replica_id: int) -> None:
         st = self.store
         op.acks_total += 1
@@ -263,11 +303,20 @@ class Coordinator:
             # propagated as far as the coordinator can observe. This is the
             # monitor's (observable) proxy for the paper's Tp.
             st._notify_propagated(op.result)
-        if not op.finished and op.requirement.satisfied(op.acks_total, op.acks_by_dc):
+        self._maybe_finish_write(op)
+
+    def _maybe_finish_write(self, op: _WriteOp) -> None:
+        st = self.store
+        if (
+            not op.finished
+            and op.extra_acks >= op.extra_needed
+            and op.requirement.satisfied(op.acks_total, op.acks_by_dc)
+        ):
             op.finished = True
             if op.timeout_event is not None:
                 op.timeout_event.cancel()
             st.oracle.note_write_acked(op.result.key, op.version)
+            st._note_write_settled(op.result.key)
             op.result.t_end = st.sim.now
             op.result.ok = True
             op.done_cb(op.result)
@@ -278,6 +327,7 @@ class Coordinator:
         op.finished = True
         op.result.t_end = self.store.sim.now
         op.result.error = "timeout"
+        self.store._note_write_settled(op.result.key)
         self.store._count_failure("write", "timeout")
         op.done_cb(op.result)
 
@@ -289,15 +339,18 @@ class Coordinator:
         level: LevelSpec,
         done: Callable[[OpResult], Any],
     ) -> None:
-        """Coordinate one read; ``done(result)`` fires with the merged version."""
+        """Coordinate one read; ``done(result)`` fires with the merged version.
+
+        During a pending migration the replica set here is the *old*
+        owners -- the nodes guaranteed to hold the key until the streaming
+        hand-off completes -- so a membership change can never manufacture
+        a stale read on its own.
+        """
         st = self.store
         sim = st.sim
-        replicas = st.strategy.replicas(key, st.ring, st.topology)
+        replicas, _ = st.replica_sets(key)
         requirement = resolve_level(
-            level,
-            st.strategy.rf_total,
-            st.strategy.replicas_by_dc(key, st.ring, st.topology),
-            self.dc,
+            level, len(replicas), _count_by_dc(st, replicas), self.dc
         )
         result = OpResult("read", key, sim.now, requirement.label)
 
@@ -445,5 +498,14 @@ class Coordinator:
         op.done_cb(op.result)
 
 
+def _count_by_dc(store, replicas: Sequence[int]) -> Dict[int, int]:
+    """Replica count per datacenter of an explicit replica list."""
+    counts: Dict[int, int] = {}
+    for r in replicas:
+        dc = store.topology.dc_of(r)
+        counts[dc] = counts.get(dc, 0) + 1
+    return counts
+
+
 def _ignore_apply(node_id: int, key: str, version: Version) -> None:
-    """No-op apply callback for repair writes (no ack needed)."""
+    """No-op apply callback for repair and migration-forward writes."""

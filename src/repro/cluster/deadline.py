@@ -82,7 +82,9 @@ class FreshnessDeadline:
     def _enforce(self, key: str, version: Version) -> None:
         st = self.store
         self.checks += 1
-        replicas = st.strategy.replicas(key, st.ring, st.topology)
+        # Both sides of a pending migration: old owners serve the reads the
+        # deadline promises freshness for, incoming owners must converge too.
+        replicas = st.all_replicas(key)
         source = None
         for r in replicas:
             node = st.nodes[r]
@@ -124,7 +126,9 @@ class FreshnessDeadline:
         bad = 0
         st = self.store
         for key, version in self._enforced:
-            for r in st.strategy.replicas(key, st.ring, st.topology):
+            # Audit the read-visible set only: during a migration that is
+            # the old owners; incoming owners catch up via the rebalancer.
+            for r in st.replica_sets(key)[0]:
                 node = st.nodes[r]
                 if not node.up:
                     continue

@@ -100,6 +100,7 @@ class StorageNode:
         "rng",
         "data",
         "up",
+        "retired",
         "reads_served",
         "writes_applied",
         "dropped_while_down",
@@ -127,6 +128,7 @@ class StorageNode:
         self.rng = spawn_rng(rng)
         self.data: Dict[str, Version] = {}
         self.up = True
+        self.retired = False
         self.reads_served = 0
         self.writes_applied = 0
         self.dropped_while_down = 0
@@ -140,6 +142,15 @@ class StorageNode:
     def recover(self) -> None:
         """Bring the node back (state intact -- a restart, not a rebuild)."""
         self.up = True
+
+    def retire(self) -> None:
+        """Permanently drain the node after a decommission hand-off.
+
+        Unlike :meth:`crash`, retirement is final: the node left the ring,
+        its data has been streamed away, and recovery must not revive it.
+        """
+        self.up = False
+        self.retired = True
 
     # -- request handling -------------------------------------------------------
 

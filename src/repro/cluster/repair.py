@@ -82,9 +82,13 @@ class AntiEntropyRepair:
         st.sim.schedule(self.interval, self._sweep)
 
     def _repair_key(self, key: str) -> None:
-        """Stream the newest replica version to every lagging live replica."""
+        """Stream the newest replica version to every lagging live replica.
+
+        During a pending migration this spans both sides of the hand-off
+        (old owners hold the data, incoming owners must converge).
+        """
         st = self.store
-        replicas = st.strategy.replicas(key, st.ring, st.topology)
+        replicas = st.all_replicas(key)
         best = None
         holder = None
         for r in replicas:

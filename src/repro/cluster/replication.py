@@ -9,8 +9,9 @@ and the topology, a strategy picks the replica set:
   walking the ring and taking nodes from each datacenter until its quota is
   filled (the placement the paper's two-AZ / two-site deployments use).
 
-Placement results are cached per key because the ring and topology are
-immutable for the lifetime of a simulated deployment.
+Placement results are cached per key; the cache is valid for as long as the
+ring layout is -- live membership changes (elastic bootstrap/decommission)
+must call :meth:`ReplicationStrategy.clear_cache`.
 """
 
 from __future__ import annotations
@@ -29,10 +30,27 @@ class ReplicationStrategy:
 
     #: Total replication factor (set by subclasses).
     rf_total: int
+    #: Per-key placement cache (populated by subclasses).
+    _cache: Dict[str, List[int]]
 
     def replicas(self, key: str, ring: TokenRing, topology: Topology) -> List[int]:
         """Ordered replica node ids for ``key`` (primary first)."""
         raise NotImplementedError
+
+    def clear_cache(self) -> None:
+        """Invalidate cached placements after a ring membership change."""
+        self._cache.clear()
+
+    def validate_membership(self, members: Sequence[int], topology: Topology) -> None:
+        """Raise if this placement cannot be satisfied by ``members``.
+
+        Called before a decommission commits: the surviving member set must
+        still be able to host every replica.
+        """
+        if len(members) < self.rf_total:
+            raise ConsistencyError(
+                f"RF={self.rf_total} cannot be placed on {len(members)} members"
+            )
 
     def replicas_by_dc(
         self, key: str, ring: TokenRing, topology: Topology
@@ -125,6 +143,18 @@ class NetworkTopologyStrategy(ReplicationStrategy):
             )
         self._cache[key] = out
         return out
+
+    def validate_membership(self, members: Sequence[int], topology: Topology) -> None:
+        counts: Dict[int, int] = {}
+        for node in members:
+            dc = topology.dc_of(node)
+            counts[dc] = counts.get(dc, 0) + 1
+        for dc, need in self.rf_per_dc.items():
+            if counts.get(dc, 0) < need:
+                raise ConsistencyError(
+                    f"DC {dc} would have {counts.get(dc, 0)} members, "
+                    f"cannot hold {need} replicas"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NetworkTopologyStrategy({self.rf_per_dc})"

@@ -8,12 +8,21 @@ sorted token array -- O(log V) per operation with V = total vnodes.
 The ring answers exactly one question: *which distinct physical nodes follow
 a token clockwise?* Replica placement policy on top of that walk lives in
 :mod:`repro.cluster.replication`.
+
+Membership is **live**: :meth:`TokenRing.add_node` and
+:meth:`TokenRing.remove_node` rebuild the token array incrementally and
+return the exact set of token ranges whose primary owner changed -- the
+work list the elastic subsystem's streaming rebalancer migrates. Because
+vnode tokens are a pure function of the node id, a ring that grew from 4
+to 5 nodes is bit-identical to one constructed with 5 nodes: layout never
+depends on membership history.
 """
 
 from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
+from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
@@ -21,7 +30,7 @@ import numpy as np
 from repro.common.errors import ConfigError
 from repro.cluster.partitioner import TOKEN_SPACE, token_of
 
-__all__ = ["TokenRing"]
+__all__ = ["TokenRing", "MovedRange"]
 
 
 def _vnode_token(node_id: int, vnode_index: int) -> int:
@@ -30,13 +39,45 @@ def _vnode_token(node_id: int, vnode_index: int) -> int:
     return int.from_bytes(digest, "big") % TOKEN_SPACE
 
 
+@dataclass(frozen=True)
+class MovedRange:
+    """One token arc whose primary owner changed in a membership event.
+
+    The arc is the clockwise half-open interval ``[start, end)`` (wrapping
+    through zero when ``start >= end``): every token from ``start``
+    inclusive up to but excluding ``end`` moved from ``old_owner`` to
+    ``new_owner``. Matches :meth:`TokenRing.primary_for_token`'s
+    ``bisect_right`` convention (a key hashing exactly onto a vnode token
+    belongs to the *next* vnode clockwise).
+    """
+
+    start: int
+    end: int
+    old_owner: int
+    new_owner: int
+
+    def width(self) -> int:
+        """Number of tokens in the arc (wraparound-aware)."""
+        if self.end > self.start:
+            return self.end - self.start
+        return TOKEN_SPACE - self.start + self.end
+
+    def contains(self, token: int) -> bool:
+        """Whether ``token`` falls inside the (wrapping) arc."""
+        if self.start < self.end:
+            return self.start <= token < self.end
+        return token >= self.start or token < self.end
+
+
 class TokenRing:
-    """Sorted token ring over ``n_nodes`` physical nodes.
+    """Sorted token ring over an elastic set of physical nodes.
 
     Parameters
     ----------
     n_nodes:
-        Number of physical nodes (ids ``0..n_nodes-1``).
+        Number of physical nodes at construction (ids ``0..n_nodes-1``).
+        Membership can change afterwards via :meth:`add_node` /
+        :meth:`remove_node`; node ids may become sparse.
     vnodes:
         Virtual nodes per physical node. More vnodes -> better load spread;
         16 keeps placement balanced to within a few percent while keeping
@@ -48,22 +89,76 @@ class TokenRing:
             raise ConfigError(f"ring needs >= 1 node, got {n_nodes}")
         if vnodes < 1:
             raise ConfigError(f"vnodes must be >= 1, got {vnodes}")
-        self.n_nodes = int(n_nodes)
         self.vnodes = int(vnodes)
+        self._members: set = set(range(n_nodes))
 
         pairs: List[Tuple[int, int]] = []
         for node in range(n_nodes):
             for v in range(vnodes):
                 pairs.append((_vnode_token(node, v), node))
         pairs.sort()
-        # Extremely unlikely MD5 token collision would silently drop a vnode;
-        # assert instead so it is loud if it ever happens.
+        # An MD5 token collision would silently drop a vnode; it is
+        # astronomically rare, so raise ConfigError loudly if it ever happens
+        # rather than let placement quietly lose a token.
         tokens = [t for t, _ in pairs]
         if len(set(tokens)) != len(tokens):  # pragma: no cover - astronomically rare
             raise ConfigError("token collision on the ring; change vnode count")
 
         self._tokens: List[int] = tokens  # plain list: bisect on python ints
         self._owners = [owner for _, owner in pairs]
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Current number of member nodes."""
+        return len(self._members)
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """Sorted node ids currently on the ring."""
+        return tuple(sorted(self._members))
+
+    def add_node(self, node_id: int) -> List[MovedRange]:
+        """Join ``node_id``, inserting its vnode tokens incrementally.
+
+        Returns the exact primary-ownership diff: every token range that
+        moved from an existing node to the newcomer. O(vnodes log V) ring
+        surgery plus O(vnodes) diff extraction.
+        """
+        node_id = int(node_id)
+        if node_id in self._members:
+            raise ConfigError(f"node {node_id} is already on the ring")
+        old_tokens = list(self._tokens)
+        old_owners = list(self._owners)
+        for v in range(self.vnodes):
+            t = _vnode_token(node_id, v)
+            idx = bisect_right(self._tokens, t)
+            if idx < len(self._tokens) and self._tokens[idx] == t:  # pragma: no cover
+                raise ConfigError("token collision on the ring; change vnode count")
+            self._tokens.insert(idx, t)
+            self._owners.insert(idx, node_id)
+        self._members.add(node_id)
+        return _ownership_diff(old_tokens, old_owners, self._tokens, self._owners)
+
+    def remove_node(self, node_id: int) -> List[MovedRange]:
+        """Leave ``node_id``, dropping its vnode tokens.
+
+        Returns the exact primary-ownership diff: every token range that
+        moved from the leaver to a surviving node.
+        """
+        node_id = int(node_id)
+        if node_id not in self._members:
+            raise ConfigError(f"node {node_id} is not on the ring")
+        if len(self._members) == 1:
+            raise ConfigError("cannot remove the last ring member")
+        old_tokens = list(self._tokens)
+        old_owners = list(self._owners)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node_id]
+        self._tokens = [self._tokens[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+        self._members.discard(node_id)
+        return _ownership_diff(old_tokens, old_owners, self._tokens, self._owners)
 
     # -- lookups -------------------------------------------------------------
 
@@ -75,18 +170,19 @@ class TokenRing:
     def walk(self, token: int) -> Iterator[int]:
         """Yield *distinct* physical nodes clockwise from ``token``.
 
-        Terminates after all ``n_nodes`` distinct nodes have been yielded.
+        Terminates after all member nodes have been yielded.
         """
         start = bisect_right(self._tokens, token) % len(self._owners)
         seen = set()
         owners = self._owners
         n = len(owners)
+        n_members = len(self._members)
         for i in range(n):
             node = owners[(start + i) % n]
             if node not in seen:
                 seen.add(node)
                 yield node
-                if len(seen) == self.n_nodes:
+                if len(seen) == n_members:
                     return
 
     def walk_key(self, key: str) -> Iterator[int]:
@@ -94,15 +190,74 @@ class TokenRing:
         return self.walk(token_of(key))
 
     def ownership_fractions(self, sample: int = 20_000) -> np.ndarray:
-        """Approximate fraction of the token space owned by each node.
+        """Exact fraction of the token space owned by each node.
 
-        Estimated by hashing ``sample`` synthetic keys; used by the balance
-        tests and the capacity planner.
+        Computed in one O(V) pass over the token gaps: the arc ending at
+        ``tokens[i]`` (clockwise from its predecessor) belongs to
+        ``owners[i]``, so each node's share is the sum of its vnodes' gap
+        widths. Entry ``i`` of the result is node id ``i``'s share
+        (decommissioned ids, if any, read 0). ``sample`` is kept for
+        backwards compatibility and ignored -- the computation is exact.
         """
-        counts = np.zeros(self.n_nodes, dtype=np.int64)
-        for i in range(sample):
-            counts[self.primary_for_token(token_of(f"balance:{i}"))] += 1
-        return counts / float(sample)
+        del sample  # deprecated: the gap computation needs no sampling
+        tokens, owners = self._tokens, self._owners
+        fractions = np.zeros(max(self._members) + 1, dtype=np.float64)
+        prev = tokens[-1] - TOKEN_SPACE  # wraparound arc ends at tokens[0]
+        for t, owner in zip(tokens, owners):
+            fractions[owner] += t - prev
+            prev = t
+        return fractions / float(TOKEN_SPACE)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TokenRing(nodes={self.n_nodes}, vnodes={self.vnodes})"
+
+
+def _ownership_diff(
+    old_tokens: Sequence[int],
+    old_owners: Sequence[int],
+    new_tokens: Sequence[int],
+    new_owners: Sequence[int],
+) -> List[MovedRange]:
+    """Exact primary-ownership diff between two ring layouts.
+
+    Both layouts partition the token space into arcs; the union of both
+    token sets cuts the space into elementary arcs ``[b_i, b_{i+1})`` on
+    which each layout's owner is constant (no vnode token of either layout
+    lies strictly inside one). Arcs whose owner differs between the layouts
+    are emitted, with consecutive same-transition arcs merged (including
+    across the wraparound seam).
+    """
+    boundaries = sorted(set(old_tokens) | set(new_tokens))
+    n = len(boundaries)
+
+    def owner(tokens: Sequence[int], owners: Sequence[int], arc_start: int) -> int:
+        # primary_for_token of the arc's first token: owner constant on the
+        # whole elementary arc because no token of this layout is inside it.
+        idx = bisect_right(tokens, arc_start) % len(owners)
+        return owners[idx]
+
+    moved: List[MovedRange] = []
+    for i, b in enumerate(boundaries):
+        end = boundaries[(i + 1) % n]
+        before = owner(old_tokens, old_owners, b)
+        after = owner(new_tokens, new_owners, b)
+        if before != after:
+            if (
+                moved
+                and moved[-1].end == b
+                and moved[-1].old_owner == before
+                and moved[-1].new_owner == after
+            ):
+                moved[-1] = MovedRange(moved[-1].start, end, before, after)
+            else:
+                moved.append(MovedRange(b, end, before, after))
+    # Merge across the wrap seam: the last arc ends where the first starts.
+    if (
+        len(moved) >= 2
+        and moved[-1].end == moved[0].start
+        and moved[0].old_owner == moved[-1].old_owner
+        and moved[0].new_owner == moved[-1].new_owner
+    ):
+        last = moved.pop()
+        moved[0] = MovedRange(last.start, moved[0].end, last.old_owner, last.new_owner)
+    return moved

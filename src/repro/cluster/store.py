@@ -14,12 +14,22 @@ makes runtime-adaptive policies like Harmony possible at all.
 The store also hosts the metric surfaces everything else consumes:
 latency histograms, op/failure counters, the staleness oracle, the network
 traffic matrix, and a listener interface for monitors.
+
+Membership is **live**: :meth:`ReplicatedStore.bootstrap_node` and
+:meth:`ReplicatedStore.decommission_node` change cluster capacity mid-run.
+Each membership change rebuilds the token ring incrementally and computes
+the exact ownership diff (which keys gained or lost replica owners). With a
+streaming rebalancer attached (:mod:`repro.elastic`), moved data migrates
+over the simulated network while foreground traffic continues -- reads
+consult the *old* owners until a key's new owners are caught up, and writes
+are forwarded to both. Without one, the diff is applied instantly (an
+offline rebalance), which keeps bare-store membership tests simple.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,14 +41,36 @@ from repro.cluster.coordinator import Coordinator, MessageSizes, OpResult
 from repro.cluster.hints import HintStore
 from repro.cluster.node import ServiceModel, StorageNode
 from repro.cluster.replication import ReplicationStrategy, SimpleStrategy
-from repro.cluster.ring import TokenRing
+from repro.cluster.ring import MovedRange, TokenRing
 from repro.cluster.staleness import StalenessOracle
 from repro.cluster.versions import Version
 from repro.net.topology import Topology
 from repro.net.transport import Network
 from repro.simcore.simulator import Simulator
 
-__all__ = ["StoreConfig", "ReplicatedStore"]
+__all__ = ["StoreConfig", "ReplicatedStore", "MembershipChange"]
+
+
+@dataclass(frozen=True)
+class MembershipChange:
+    """Everything one bootstrap/decommission moved, for the rebalancer.
+
+    Attributes
+    ----------
+    joining / leaving:
+        The node entering or exiting the ring (exactly one is set).
+    moved_ranges:
+        Exact primary-ownership token-range diff from the ring.
+    pending:
+        ``key -> (old_replicas, new_replicas)`` for every written key whose
+        replica set changed -- the data that must be streamed before the new
+        placement is authoritative for reads.
+    """
+
+    joining: Optional[int]
+    leaving: Optional[int]
+    moved_ranges: Tuple[MovedRange, ...]
+    pending: Mapping[str, Tuple[Tuple[int, ...], Tuple[int, ...]]]
 
 
 @dataclass
@@ -120,6 +152,7 @@ class ReplicatedStore:
             )
 
         rngs = RngFactory(self.config.seed)
+        self._rngs = rngs  # kept: bootstrapped nodes derive their streams here
         self.rng = rngs.stream("store.coordinator")
         self.network = Network(sim, topology, rng=rngs.stream("store.network"))
         self.ring = TokenRing(topology.n_nodes, vnodes=self.config.vnodes)
@@ -159,6 +192,28 @@ class ReplicatedStore:
         self._written_set: set = set()
         self._listeners: List[Any] = []
         self._node_listeners: List[Any] = []
+        #: streaming rebalancer (attached by :mod:`repro.elastic`); when
+        #: ``None``, membership changes rebalance offline (instant copy).
+        self.rebalancer: Optional[Any] = None
+        # billable-capacity meter: instance-seconds integrated over the live
+        # (non-retired) node count, so elastic runs bill capacity-over-time;
+        # per-instance lifetimes back the hourly-rounded price books.
+        self._instance_count = topology.n_nodes
+        self._instance_seconds = 0.0
+        self._instance_last_t = sim.now
+        self._instance_spans: List[List[Optional[float]]] = [
+            [sim.now, None] for _ in range(topology.n_nodes)
+        ]
+        # per-key count of writes dispatched but not yet settled (acked or
+        # timed out). The rebalancer defers a migration hand-off while one
+        # is outstanding: a write racing the stream must land on the old
+        # owners before they stop being the read-visible set, or an acked
+        # write could vanish behind the ownership switch.
+        self._inflight_writes: Dict[str, int] = {}
+        # per-DC coordinator pools (invalidated on membership changes) so
+        # clients route through current members: bootstrapped nodes start
+        # coordinating, retired ones stop.
+        self._coord_pools: Optional[Dict[int, List[int]]] = None
 
     # -- client API --------------------------------------------------------------
 
@@ -227,6 +282,224 @@ class ReplicatedStore:
             if hook is not None:
                 hook(node_id)
 
+    def _notify_elastic(self, event: Dict[str, Any]) -> None:
+        """Broadcast an elasticity event (scale/migration) to listeners.
+
+        Listeners may implement ``on_elastic_event(event_dict)``; the
+        cluster monitor uses it to keep ranges-moved / bytes-streamed /
+        scale-event counters.
+        """
+        for listener in self._listeners:
+            hook = getattr(listener, "on_elastic_event", None)
+            if hook is not None:
+                hook(event)
+
+    # -- live membership -----------------------------------------------------------
+
+    def replica_sets(self, key: str) -> Tuple[List[int], Tuple[int, ...]]:
+        """``(authoritative, extra)`` replica node ids for ``key``.
+
+        ``authoritative`` is the set reads consult and consistency
+        requirements resolve against. While a migration of ``key`` is
+        pending that is the *old* replica set (its nodes are guaranteed to
+        hold the data); ``extra`` are the incoming owners that additionally
+        receive every foreground write so the hand-off loses nothing. With
+        no migration pending, ``authoritative`` is simply the strategy's
+        placement and ``extra`` is empty.
+        """
+        new = self.strategy.replicas(key, self.ring, self.topology)
+        reb = self.rebalancer
+        if reb is None:
+            return new, ()
+        old = reb.pending_old_replicas(key)
+        if old is None:
+            return new, ()
+        return list(old), tuple(n for n in new if n not in old)
+
+    def coordinator_pool(self, dc_index: int) -> List[int]:
+        """Non-retired nodes of ``dc_index`` that can front client requests.
+
+        Clients colocated with a datacenter draw their coordinator from
+        here per operation (instead of a list frozen at run start), so
+        membership changes reshape coordinator load: a bootstrapped node
+        joins the pool, a retired one -- a terminated VM -- leaves it.
+        """
+        pools = self._coord_pools
+        if pools is None:
+            pools = {}
+            for node in self.nodes:
+                if node.retired:
+                    continue
+                pools.setdefault(self.topology.dc_of(node.node_id), []).append(
+                    node.node_id
+                )
+            self._coord_pools = pools
+        return pools.get(dc_index, [])
+
+    def all_replicas(self, key: str) -> List[int]:
+        """Every node that must converge on ``key`` right now.
+
+        The authoritative set plus, during a pending migration, the
+        incoming owners -- the single definition of migration visibility
+        shared by repair, freshness deadlines and the 2PC fan-out.
+        """
+        authoritative, extra = self.replica_sets(key)
+        return list(authoritative) + list(extra)
+
+    def bootstrap_node(self, dc_index: int) -> int:
+        """Add one node to datacenter ``dc_index`` and rebalance; returns its id.
+
+        The token ring is rebuilt incrementally; the exact ownership diff is
+        handed to the attached streaming rebalancer (or applied instantly
+        when none is attached). Node listeners observe ``on_node_join``.
+        """
+        self._instances_tick()
+        self._instance_count += 1
+        self._coord_pools = None
+        node_id = self.topology.add_node(dc_index)
+        self._instance_spans.append([self.sim.now, None])
+        self.nodes.append(
+            StorageNode(
+                self.sim,
+                node_id=node_id,
+                service=self.config.service,
+                servers=self.config.servers_per_node,
+                mutation_servers=self.config.mutation_servers_per_node,
+                rng=self._rngs.stream(f"store.node.{node_id}"),
+            )
+        )
+        self.coordinators.append(Coordinator(self, node_id))
+        self._apply_membership_change(
+            lambda: self.ring.add_node(node_id), joining=node_id
+        )
+        self._notify_node_event("on_node_join", node_id)
+        return node_id
+
+    def decommission_node(self, node_id: int) -> None:
+        """Remove ``node_id`` from the ring and drain its data away.
+
+        The node keeps serving as an *old* owner until every key it held
+        has been streamed to its new owners, then retires (final -- a
+        retired node is never recovered). Node listeners observe
+        ``on_node_leave`` when the drain starts.
+        """
+        node_id = int(node_id)
+        if not (0 <= node_id < len(self.nodes)):
+            raise ConfigError(f"unknown node {node_id}")
+        if self.nodes[node_id].retired:
+            raise ConfigError(f"node {node_id} is already decommissioned")
+        survivors = [m for m in self.ring.members if m != node_id]
+        self.strategy.validate_membership(survivors, self.topology)
+        self._apply_membership_change(
+            lambda: self.ring.remove_node(node_id), leaving=node_id
+        )
+        self._notify_node_event("on_node_leave", node_id)
+
+    def _apply_membership_change(
+        self,
+        mutate_ring: Callable[[], List[MovedRange]],
+        joining: Optional[int] = None,
+        leaving: Optional[int] = None,
+    ) -> MembershipChange:
+        """Mutate the ring, diff every written key's placement, rebalance."""
+        old_sets = {
+            key: tuple(self.strategy.replicas(key, self.ring, self.topology))
+            for key in self._written_keys
+        }
+        moved = mutate_ring()
+        self.strategy.clear_cache()
+        pending: Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        for key in self._written_keys:
+            new = tuple(self.strategy.replicas(key, self.ring, self.topology))
+            old = old_sets[key]
+            if set(new) != set(old):
+                pending[key] = (old, new)
+        change = MembershipChange(
+            joining=joining,
+            leaving=leaving,
+            moved_ranges=tuple(moved),
+            pending=pending,
+        )
+        if self.rebalancer is not None:
+            self.rebalancer.begin(change)
+        else:
+            self._offline_rebalance(change)
+        return change
+
+    def _offline_rebalance(self, change: MembershipChange) -> None:
+        """Instantly hand moved keys to their new owners (no simulated traffic).
+
+        The fallback when no streaming rebalancer is attached: correct (the
+        newest surviving version lands on every new owner) but free, like
+        :meth:`preload`. Real migration cost is the elastic subsystem's job.
+        """
+        for key, (old, new) in change.pending.items():
+            best = None
+            for r in old:
+                v = self.nodes[r].data.get(key)
+                if v is not None and (best is None or v.newer_than(best)):
+                    best = v
+            if best is None:
+                continue
+            for r in new:
+                if r in old:
+                    continue
+                current = self.nodes[r].data.get(key)
+                if current is None or best.newer_than(current):
+                    self.nodes[r].data[key] = best
+        if change.leaving is not None:
+            self.retire_node(change.leaving)
+
+    def retire_node(self, node_id: int) -> None:
+        """Finalize a decommission: the node stops serving (and billing)."""
+        self._instances_tick()
+        self._instance_count -= 1
+        self._coord_pools = None
+        self._instance_spans[node_id][1] = self.sim.now
+        self.nodes[node_id].retire()
+
+    def _instances_tick(self) -> None:
+        now = self.sim.now
+        self._instance_seconds += self._instance_count * (now - self._instance_last_t)
+        self._instance_last_t = now
+
+    def instance_seconds(self) -> float:
+        """Cumulative billable instance-seconds since deployment.
+
+        Integrates the provisioned node count over simulated time: a
+        bootstrapped node starts billing when it joins, a decommissioned
+        node bills until it *retires* (it keeps serving as an old owner
+        through the drain -- you pay for the VM until it is terminated).
+        Crashed nodes keep billing; a crash is downtime, not a teardown.
+        """
+        self._instances_tick()
+        return self._instance_seconds
+
+    def instance_spans(self) -> List[Tuple[float, Optional[float]]]:
+        """Per-instance ``(start, end)`` lifetimes (``end=None`` = running).
+
+        The basis of hourly-rounded billing: clouds that round up bill each
+        instance's own hours, so the biller needs lifetimes, not just the
+        aggregate instance-seconds integral.
+        """
+        return [(s, e) for s, e in self._instance_spans]
+
+    # -- in-flight write tracking (migration hand-off gate) -------------------------
+
+    def _note_write_dispatched(self, key: str) -> None:
+        self._inflight_writes[key] = self._inflight_writes.get(key, 0) + 1
+
+    def _note_write_settled(self, key: str) -> None:
+        count = self._inflight_writes.get(key, 0) - 1
+        if count <= 0:
+            self._inflight_writes.pop(key, None)
+        else:
+            self._inflight_writes[key] = count
+
+    def write_in_flight(self, key: str) -> bool:
+        """Whether a dispatched write of ``key`` has not yet settled."""
+        return key in self._inflight_writes
+
     # -- operational hooks ---------------------------------------------------------
 
     def on_node_crash(self, node_id: int) -> None:
@@ -237,6 +510,8 @@ class ReplicatedStore:
     def on_node_recover(self, node_id: int) -> None:
         """Bring a node back up and replay its hints (if handoff is enabled)."""
         node = self.nodes[node_id]
+        if node.retired:
+            return  # decommissioned for good; a scripted recovery is a no-op
         node.recover()
         if self.hints is not None:
             for key, version in self.hints.drain(node_id):
@@ -349,7 +624,9 @@ class ReplicatedStore:
 
     def _pick_coordinator(self, preferred: Optional[int]) -> Optional[Coordinator]:
         """Pick a live coordinator; ``None`` when the whole cluster is down."""
-        if preferred is not None:
+        if preferred is not None and not self.nodes[preferred].retired:
+            # A crashed-but-not-retired coordinator still fronts requests
+            # (transient downtime); a retired one is a terminated VM.
             return self.coordinators[preferred]
         # Random live node, as a client-side load balancer would pick.
         for _ in range(4):

@@ -91,22 +91,35 @@ class Biller:
         self._t0 = self.store.sim.now
         self._io0 = self._io_count()
         self._ops0 = self.store.ops_completed()
+        self._inst0 = self.store.instance_seconds()
         self._traffic0 = self.store.network.traffic.snapshot()
 
     def bill(self) -> Bill:
         """Price the interval since :meth:`arm`."""
         store, prices = self.store, self.prices
         duration = max(store.sim.now - self._t0, 0.0)
-        n_instances = store.topology.n_nodes
+        # Billable capacity is integrated over the interval (instance-
+        # seconds of live, non-retired nodes), so elastic scale-outs bill
+        # from their bootstrap and scale-ins stop billing at retirement.
+        # On a static cluster this is exactly n_nodes x duration.
+        inst_seconds = max(store.instance_seconds() - self._inst0, 0.0)
 
         # -- instances ---------------------------------------------------------
         if prices.round_up_instance_hours:
-            hours = math.ceil(duration / 3600.0) if duration > 0 else 0
-            instance_cost = n_instances * hours * prices.instance_hour
+            # 2013-era AWS granularity: each instance's own hours round up
+            # individually, so elastic lifetimes are priced per span.
+            t_end = store.sim.now
+            instance_cost = 0.0
+            for start, end in store.instance_spans():
+                overlap = min(end if end is not None else t_end, t_end) - max(
+                    start, self._t0
+                )
+                if overlap > 0:
+                    instance_cost += (
+                        math.ceil(overlap / 3600.0) * prices.instance_hour
+                    )
         else:
-            instance_cost = (
-                n_instances * duration * prices.instance_rate_per_second()
-            )
+            instance_cost = inst_seconds * prices.instance_rate_per_second()
 
         # -- storage -----------------------------------------------------------
         replicated_gb = (

@@ -139,16 +139,28 @@ class ProvisioningAdvisor:
 
     # -- constraint checks ---------------------------------------------------------
 
-    def _capacity_ok(
+    def stage_utilization(
         self, env: WorkloadEnvelope, n_nodes: int, rf: int, read_level: int
-    ) -> bool:
+    ) -> float:
+        """Worst-stage utilization of ``n_nodes`` under the envelope's load.
+
+        The M/M/c-style capacity fraction of the busier of the read and
+        mutation stages (1.0 = at capacity). Public because the elastic
+        autoscaler projects counterfactual cluster sizes with exactly this
+        check -- the feasibility half of the provisioning sweep.
+        """
         read_work = env.read_rate * read_level / n_nodes
         write_work = env.write_rate * rf / n_nodes
         read_cap = self.read_servers / max(self.service.mean_read(), 1e-9)
         write_cap = self.write_servers / max(self.service.mean_write(), 1e-9)
+        return max(read_work / max(read_cap, 1e-12), write_work / max(write_cap, 1e-12))
+
+    def _capacity_ok(
+        self, env: WorkloadEnvelope, n_nodes: int, rf: int, read_level: int
+    ) -> bool:
         return (
-            read_work <= read_cap * env.max_utilization
-            and write_work <= write_cap * env.max_utilization
+            self.stage_utilization(env, n_nodes, rf, read_level)
+            <= env.max_utilization
         )
 
     def _consistency_level(
@@ -174,7 +186,12 @@ class ProvisioningAdvisor:
         # level must still find enough live replicas.
         return sum(rf) - env.failures_tolerated >= read_level
 
-    def _monthly_cost(self, env: WorkloadEnvelope, n_nodes: int, rf_total: int) -> float:
+    def monthly_cost(self, env: WorkloadEnvelope, n_nodes: int, rf_total: int) -> float:
+        """Monthly bill (instances + storage + I/O) of a candidate size.
+
+        Public counterpart of the sweep's pricing step; the autoscaler uses
+        it to annotate scale decisions with the projected saving/cost.
+        """
         hours = 30.0 * 24.0
         instances = n_nodes * hours * self.prices.instance_hour
         storage_gb = env.data_size_bytes * rf_total / 1e9
@@ -210,7 +227,7 @@ class ProvisioningAdvisor:
                     out.append(
                         Candidate(
                             tuple(nodes), tuple(rf), 0, 1.0,
-                            self._monthly_cost(env, total, sum(rf)),
+                            self.monthly_cost(env, total, sum(rf)),
                             False, "no level meets staleness tolerance",
                         )
                     )
@@ -222,7 +239,7 @@ class ProvisioningAdvisor:
                     out.append(
                         Candidate(
                             tuple(nodes), tuple(rf), level, est,
-                            self._monthly_cost(env, total, sum(rf)),
+                            self.monthly_cost(env, total, sum(rf)),
                             False, "cannot tolerate failures at this level",
                         )
                     )
@@ -231,7 +248,7 @@ class ProvisioningAdvisor:
                     out.append(
                         Candidate(
                             tuple(nodes), tuple(rf), level, est,
-                            self._monthly_cost(env, total, sum(rf)),
+                            self.monthly_cost(env, total, sum(rf)),
                             False, "insufficient service capacity",
                         )
                     )
@@ -239,7 +256,7 @@ class ProvisioningAdvisor:
                 out.append(
                     Candidate(
                         tuple(nodes), tuple(rf), level, est,
-                        self._monthly_cost(env, total, sum(rf)), True,
+                        self.monthly_cost(env, total, sum(rf)), True,
                     )
                 )
         out.sort(key=lambda c: (not c.feasible, c.monthly_cost))

@@ -1,0 +1,34 @@
+"""Cluster elasticity: live membership, streaming rebalance, autoscaling.
+
+The capacity-over-time axis of the simulated store:
+
+- :class:`~repro.elastic.cluster.ElasticCluster` -- bootstrap/decommission
+  with an event log, over the store's live-membership API;
+- :class:`~repro.elastic.rebalance.StreamingRebalancer` -- crash-safe
+  online migration of moved token ranges (pending-ranges reads, forwarded
+  writes, re-stream on failure);
+- :class:`~repro.elastic.autoscale.CostAwareAutoscaler` -- a hysteretic
+  control loop trading observed load pressure against the projected bill;
+- :func:`~repro.elastic.runner.deploy_and_run_elastic` -- the experiment
+  harness the ``elastic-*`` scenarios run through.
+"""
+
+from repro.elastic.autoscale import AutoscalerConfig, CostAwareAutoscaler
+from repro.elastic.cluster import ElasticCluster
+from repro.elastic.rebalance import RebalanceConfig, StreamingRebalancer
+from repro.elastic.runner import (
+    ElasticRunOutcome,
+    ElasticSpec,
+    deploy_and_run_elastic,
+)
+
+__all__ = [
+    "AutoscalerConfig",
+    "CostAwareAutoscaler",
+    "ElasticCluster",
+    "RebalanceConfig",
+    "StreamingRebalancer",
+    "ElasticRunOutcome",
+    "ElasticSpec",
+    "deploy_and_run_elastic",
+]

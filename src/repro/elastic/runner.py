@@ -1,0 +1,162 @@
+"""The elastic deploy-run-bill harness.
+
+:func:`deploy_and_run_elastic` mirrors
+:func:`repro.experiments.runner.deploy_and_run` with one extra axis:
+*capacity over time*. An :class:`ElasticSpec` describes what changes during
+the run -- scripted membership events, an autoscaler, a time-varying
+offered-load schedule -- and the resulting
+:class:`~repro.workload.client.RunReport` carries an ``elastic`` block
+(scale events, ranges moved, bytes streamed, autoscaler decisions) next to
+the usual throughput/latency/staleness metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.store import ReplicatedStore
+from repro.cost.billing import Bill, Biller
+from repro.elastic.autoscale import AutoscalerConfig, CostAwareAutoscaler
+from repro.elastic.cluster import ElasticCluster
+from repro.elastic.rebalance import RebalanceConfig
+from repro.monitor.collector import ClusterMonitor
+from repro.workload.client import RunReport, WorkloadRunner
+from repro.workload.workloads import WorkloadSpec, heavy_read_update
+
+__all__ = ["ElasticSpec", "ElasticRunOutcome", "deploy_and_run_elastic"]
+
+#: A membership script receives the cluster and schedules bootstrap /
+#: decommission calls on the simulation clock (times relative to run start).
+ElasticScript = Callable[[ElasticCluster], None]
+
+
+@dataclass(frozen=True)
+class ElasticSpec:
+    """What changes about capacity and load during an elastic run.
+
+    Attributes
+    ----------
+    script:
+        Schedules scripted membership events (``None`` = none).
+    autoscaler:
+        Enables the cost-aware autoscaler with these tunables
+        (``None`` = no autoscaler).
+    rebalance:
+        Streaming tunables for the migrations.
+    pacing_schedule:
+        ``(t, total_ops_per_sec)`` points: at time ``t`` the offered load is
+        re-paced to that rate (the diurnal shape). Applies on top of the
+        run's initial ``target_throughput``.
+    """
+
+    script: Optional[ElasticScript] = None
+    autoscaler: Optional[AutoscalerConfig] = None
+    rebalance: RebalanceConfig = field(default_factory=RebalanceConfig)
+    pacing_schedule: Tuple[Tuple[float, float], ...] = ()
+
+
+@dataclass
+class ElasticRunOutcome:
+    """Everything one elastic deployment run produced."""
+
+    report: RunReport
+    bill: Bill
+    policy: Any
+    store: ReplicatedStore
+    cluster: ElasticCluster
+    autoscaler: Optional[CostAwareAutoscaler]
+
+
+def deploy_and_run_elastic(
+    platform,
+    policy_factory,
+    elastic: ElasticSpec,
+    spec: Optional[WorkloadSpec] = None,
+    ops: Optional[int] = None,
+    clients: Optional[int] = None,
+    seed: int = 11,
+    warmup_fraction: float = 0.2,
+    target_throughput: Optional[float] = None,
+    failure_script: Optional[Callable[[FailureInjector], Any]] = None,
+) -> ElasticRunOutcome:
+    """One full experiment run on a deployment whose capacity changes.
+
+    Build the platform, attach the policy, wrap the store in an
+    :class:`ElasticCluster`, arm the autoscaler / membership script /
+    pacing schedule, run the workload with warmup, and bill the
+    measurement phase.
+    """
+    sim, store = platform.build(seed=seed)
+    policy = policy_factory(store)
+    cluster = ElasticCluster(store, rebalance=elastic.rebalance)
+
+    autoscaler: Optional[CostAwareAutoscaler] = None
+    if elastic.autoscaler is not None:
+        monitor = ClusterMonitor(window=2.0)
+        store.add_listener(monitor)
+        autoscaler = CostAwareAutoscaler(
+            cluster, monitor, platform.prices, elastic.autoscaler
+        )
+        autoscaler.start()
+    if elastic.script is not None:
+        elastic.script(cluster)
+
+    workload = spec or heavy_read_update(record_count=platform.default_record_count)
+    biller = Biller(store, platform.prices, workload.data_size_bytes())
+    if failure_script is not None:
+        failure_script(FailureInjector(store))
+    runner = WorkloadRunner(
+        store,
+        workload,
+        policy=policy,
+        n_clients=clients if clients is not None else platform.default_clients,
+        ops_total=ops if ops is not None else platform.default_ops,
+        seed=seed,
+        warmup_fraction=warmup_fraction,
+        target_throughput=target_throughput,
+        biller=biller,
+    )
+    for t, rate in elastic.pacing_schedule:
+        sim.schedule_at(t, _repace, runner, float(rate))
+    report = runner.run()
+    # The bill covers the measurement window, not the post-run drain.
+    bill = biller.bill()
+    if autoscaler is not None:
+        autoscaler.stop()
+    # Let in-flight migrations finish (bounded): the workload window just
+    # ended first; the hand-off's in-flight-write gate in particular needs
+    # one more pump tick after the last write settles.
+    deadline = sim.now + 5.0
+    while cluster.rebalancer.active and sim.now < deadline:
+        sim.run(until=min(sim.now + 0.05, deadline))
+    report.elastic = _elastic_block(cluster, autoscaler)
+    return ElasticRunOutcome(
+        report=report,
+        bill=bill,
+        policy=policy,
+        store=store,
+        cluster=cluster,
+        autoscaler=autoscaler,
+    )
+
+
+def _repace(runner: WorkloadRunner, total_rate: float) -> None:
+    """Apply one pacing-schedule point: split the total rate over clients."""
+    live = [c for c in runner.clients if c.remaining > 0]
+    if not live:
+        return
+    per_client = total_rate / len(live) if total_rate > 0 else None
+    for client in live:
+        client.set_rate(per_client)
+
+
+def _elastic_block(
+    cluster: ElasticCluster, autoscaler: Optional[CostAwareAutoscaler]
+) -> Dict[str, Any]:
+    """The report's ``elastic`` dict (JSON-safe, deterministic ordering)."""
+    block = cluster.summary()
+    if autoscaler is not None:
+        block["autoscaler"] = autoscaler.summary()
+    return block

@@ -36,6 +36,7 @@ from repro.simcore.simulator import Simulator
 __all__ = [
     "Platform",
     "single_dc_platform",
+    "small_dc_platform",
     "ec2_harmony_platform",
     "grid5000_harmony_platform",
     "ec2_cost_platform",
@@ -124,6 +125,30 @@ def single_dc_platform(scale: float = 1.0) -> Platform:
         default_record_count=int(1000 * scale),
         default_ops=int(30_000 * scale),
         default_clients=32,
+    )
+
+
+def small_dc_platform(scale: float = 1.0) -> Platform:
+    """An intentionally tight deployment: 4 thin nodes, RF=3, one LAN DC.
+
+    The elastic scenarios' starting point -- the cluster runs hot under the
+    default closed-loop load, so the autoscaler has real pressure to react
+    to. Priced with the EC2 book (the autoscaler's $/op signal needs a
+    non-zero instance price).
+    """
+    return Platform(
+        name="small-dc",
+        topology_factory=lambda: Topology(
+            [Datacenter("local", "local-region")],
+            [4],
+            latency={LinkClass.INTRA_DC: LogNormalLatency.from_mean_cv(0.00025, 0.4)},
+        ),
+        strategy_factory=lambda: SimpleStrategy(rf=3),
+        prices=EC2_US_EAST_2013,
+        default_record_count=int(800 * scale),
+        default_ops=int(20_000 * scale),
+        default_clients=48,
+        store_config=StoreConfig(servers_per_node=2, mutation_servers_per_node=2),
     )
 
 

@@ -33,12 +33,17 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from repro.common.errors import ConfigError
 from repro.cluster.failures import FailureInjector
 from repro.cost.pricing import EC2_US_EAST_2013
+from repro.elastic.autoscale import AutoscalerConfig
+from repro.elastic.cluster import ElasticCluster
+from repro.elastic.rebalance import RebalanceConfig
+from repro.elastic.runner import ElasticSpec, deploy_and_run_elastic
 from repro.experiments.platforms import (
     Platform,
     ec2_harmony_platform,
     grid5000_bismar_platform,
     grid5000_harmony_platform,
     single_dc_platform,
+    small_dc_platform,
 )
 from repro.experiments.runner import (
     PolicyFactory,
@@ -99,6 +104,12 @@ class ScenarioSpec:
     txn_config:
         ``params -> TxnConfig`` protocol tunables (transactional
         scenarios only).
+    elastic:
+        ``params -> ElasticSpec`` for scenarios whose capacity changes
+        mid-run (scripted membership events, an autoscaler, or a pacing
+        schedule); when set, the run goes through the elastic harness
+        (:func:`repro.elastic.runner.deploy_and_run_elastic`) and the
+        run's metrics include the ``elastic`` block.
     failures:
         ``(injector, params) -> None``; schedules the scenario's failure
         script before the workload starts. ``None`` = healthy cluster.
@@ -119,6 +130,7 @@ class ScenarioSpec:
     workload: Optional[Callable[[Params], WorkloadSpec]] = None
     txn_workload: Optional[Callable[[Params], TxnWorkloadSpec]] = None
     txn_config: Optional[Callable[[Params], TxnConfig]] = None
+    elastic: Optional[Callable[[Params], ElasticSpec]] = None
     failures: Optional[Callable[[FailureInjector, Params], None]] = None
     defaults: Mapping[str, Any] = field(default_factory=dict)
     pacing: Optional[Callable[[Params], float]] = None
@@ -154,7 +166,19 @@ class ScenarioSpec:
             def failure_script(injector: FailureInjector) -> None:
                 fail(injector, params)
 
-        if self.txn_workload is not None:
+        if self.elastic is not None:
+            outcome = deploy_and_run_elastic(
+                self.platform(),
+                self.policy(params),
+                self.elastic(params),
+                spec=self.workload(params) if self.workload is not None else None,
+                ops=ops if ops is not None else self.ops,
+                clients=self.clients,
+                seed=seed,
+                target_throughput=self.pacing(params) if self.pacing else None,
+                failure_script=failure_script,
+            )
+        elif self.txn_workload is not None:
             outcome = deploy_and_run_txn(
                 self.platform(),
                 self.policy(params),
@@ -213,6 +237,8 @@ class ScenarioRun:
                 k: (dict(sorted(v.items())) if isinstance(v, dict) else v)
                 for k, v in sorted(rep.txn.items())
             }
+        if rep.elastic is not None:
+            extra["elastic"] = {k: rep.elastic[k] for k in sorted(rep.elastic)}
         return {
             **extra,
             "policy": rep.policy,
@@ -477,6 +503,135 @@ register(
         tags=("txn", "geo"),
     )
 )
+
+# -- elastic scenarios: capacity changes mid-run ------------------------------
+
+#: Fast streaming clocks: run horizons are fractions of a simulated second,
+#: so migrations must pump and retry on the same footing.
+_ELASTIC_STREAMING = RebalanceConfig(pump_interval=0.005, attempt_timeout=0.1)
+
+
+def _autoscaler(p: Params, **overrides: Any) -> AutoscalerConfig:
+    """Autoscaler tuned to the sub-second scenario horizons."""
+    kwargs = dict(
+        interval=0.02,
+        consecutive=2,
+        cooldown=0.08,
+        scale_out_util=float(p.get("scale_out_util", 0.55)),
+        scale_in_util=float(p.get("scale_in_util", 0.2)),
+        queue_depth_high=3.0,
+        max_nodes=24,
+    )
+    kwargs.update(overrides)
+    return AutoscalerConfig(**kwargs)
+
+
+def _diurnal_elastic(p: Params) -> ElasticSpec:
+    # Off-peak -> peak -> off-peak offered load; the autoscaler follows.
+    peak = float(p["peak_load"])
+    return ElasticSpec(
+        autoscaler=_autoscaler(p),
+        rebalance=_ELASTIC_STREAMING,
+        pacing_schedule=((0.3, peak), (1.3, peak / 5.0)),
+    )
+
+
+def _churn_script(cluster: ElasticCluster, p: Params) -> None:
+    """Rolling membership churn: two joins, then two drains, back to back."""
+    sim = cluster.store.sim
+    dt = float(p["churn_interval"])
+    t = float(p.get("churn_start", 0.03))
+    n_dcs = len(cluster.store.topology.datacenters)
+
+    def drain() -> None:
+        candidate = cluster.decommission_candidate()
+        if candidate is not None:
+            cluster.decommission_node(candidate)
+
+    sim.schedule_at(t, cluster.bootstrap_node, 0)
+    sim.schedule_at(t + dt, cluster.bootstrap_node, (1 % n_dcs))
+    sim.schedule_at(t + 2 * dt, drain)
+    sim.schedule_at(t + 3 * dt, drain)
+
+
+register(
+    ScenarioSpec(
+        name="elastic-diurnal",
+        description="Diurnal load ramp on a tight cluster: the autoscaler "
+        "grows into the peak and shrinks after it",
+        platform=small_dc_platform,
+        policy=_harmony_policy,
+        workload=lambda p: read_mostly_latest(record_count=800),
+        elastic=_diurnal_elastic,
+        defaults={"tolerance": 0.4, "peak_load": 6000.0, "offered_load": 800.0},
+        pacing=lambda p: float(p["offered_load"]),
+        ops=6000,
+        clients=24,
+        tags=("elastic", "paced"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="elastic-flash-crowd",
+        description="Flash crowd slams an under-provisioned cluster: "
+        "queue-depth-triggered scale-out under fire",
+        platform=small_dc_platform,
+        policy=_harmony_policy,
+        workload=lambda p: flash_crowd(
+            record_count=800, hot_set_fraction=float(p["hot_set_fraction"])
+        ),
+        elastic=lambda p: ElasticSpec(
+            autoscaler=_autoscaler(p), rebalance=_ELASTIC_STREAMING
+        ),
+        defaults={"tolerance": 0.4, "hot_set_fraction": 0.05},
+        ops=6000,
+        clients=48,
+        tags=("elastic", "burst"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="elastic-scale-in-cost",
+        description="Over-provisioned EC2 cluster under light paced load: "
+        "cost-aware scale-in walks the bill down",
+        platform=ec2_harmony_platform,
+        policy=_harmony_policy,
+        workload=lambda p: read_mostly_latest(record_count=800),
+        elastic=lambda p: ElasticSpec(
+            autoscaler=_autoscaler(
+                p, interval=0.05, cooldown=0.1, min_nodes=int(p["min_nodes"])
+            ),
+            rebalance=_ELASTIC_STREAMING,
+        ),
+        defaults={"tolerance": 0.4, "offered_load": 1000.0, "min_nodes": 6},
+        pacing=lambda p: float(p["offered_load"]),
+        ops=3000,
+        clients=16,
+        tags=("elastic", "cost"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="elastic-rebalance-storm",
+        description="Back-to-back membership churn (joins and drains) while "
+        "heavy read-update traffic keeps flowing",
+        platform=single_dc_platform,
+        policy=_harmony_policy,
+        workload=lambda p: heavy_read_update(record_count=800),
+        elastic=lambda p: ElasticSpec(
+            script=lambda cluster: _churn_script(cluster, p),
+            rebalance=_ELASTIC_STREAMING,
+        ),
+        defaults={"tolerance": 0.3, "churn_interval": 0.06},
+        ops=6000,
+        clients=16,
+        tags=("elastic", "churn"),
+    )
+)
+
 
 register(
     ScenarioSpec(

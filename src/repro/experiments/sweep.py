@@ -236,6 +236,19 @@ _TXN_CSV_COLUMNS = (
     "commit_latency_p99_ms",
 )
 
+#: Elasticity columns, appended (prefixed ``elastic_``) whenever at least
+#: one run carries an ``elastic`` metrics block; rows of static scenarios
+#: leave them empty.
+_ELASTIC_CSV_COLUMNS = (
+    "nodes_initial",
+    "nodes_final",
+    "scale_outs",
+    "scale_ins",
+    "ranges_moved",
+    "keys_streamed",
+    "bytes_streamed",
+)
+
 
 @dataclass
 class SweepResult:
@@ -256,19 +269,27 @@ class SweepResult:
             if any(row.get("txn") for row in self.rows)
             else []
         )
+        elastic_cols = (
+            list(_ELASTIC_CSV_COLUMNS)
+            if any(row.get("elastic") for row in self.rows)
+            else []
+        )
         t = Table(
             f"sweep: {len(self.rows)} runs (root seed {self.root_seed})",
             ["scenario", "params"]
             + list(_CSV_COLUMNS)
-            + [f"txn_{c}" for c in txn_cols],
+            + [f"txn_{c}" for c in txn_cols]
+            + [f"elastic_{c}" for c in elastic_cols],
         )
         for row in self.rows:
             params = " ".join(f"{k}={v}" for k, v in row["params"].items())
             txn = row.get("txn") or {}
+            elastic = row.get("elastic") or {}
             t.add_row(
                 [row["scenario"], params]
                 + [row[c] for c in _CSV_COLUMNS]
                 + [txn.get(c, "") for c in txn_cols]
+                + [elastic.get(c, "") for c in elastic_cols]
             )
         return t
 

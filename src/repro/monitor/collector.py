@@ -108,6 +108,13 @@ class ClusterMonitor:
         self.txn_aborts = 0
         self.txn_in_doubt = 0
         self.commit_latency = Ewma(halflife=latency_halflife)
+        # elasticity signals (populated only when the elastic subsystem
+        # drives membership changes; zero otherwise)
+        self.scale_outs = 0
+        self.scale_ins = 0
+        self.ranges_moved = 0
+        self.keys_streamed = 0
+        self.bytes_streamed = 0
 
     # -- listener interface ------------------------------------------------------
 
@@ -153,6 +160,24 @@ class ClusterMonitor:
         """Observed abort fraction of decided transactions."""
         decided = self.txn_commits + self.txn_aborts
         return self.txn_aborts / decided if decided else 0.0
+
+    def on_elastic_event(self, event) -> None:
+        """Fold one elasticity event (scale / migration) into the counters.
+
+        Events come from :meth:`ReplicatedStore._notify_elastic`; streaming
+        counters on ``migration-complete`` are cumulative snapshots of the
+        rebalancer, so they are assigned, not summed.
+        """
+        kind = event.get("kind")
+        if kind == "scale-out":
+            self.scale_outs += 1
+        elif kind == "scale-in":
+            self.scale_ins += 1
+        elif kind == "migration-start":
+            self.ranges_moved += int(event.get("ranges", 0))
+        elif kind == "migration-complete":
+            self.keys_streamed = int(event.get("keys_streamed", 0))
+            self.bytes_streamed = int(event.get("bytes_streamed", 0))
 
     def on_write_propagated(self, result: OpResult) -> None:
         """Fold a fully-acknowledged write's ack-delay profile."""

@@ -110,6 +110,26 @@ class Topology:
             models.update(latency)
         self.latency_models: Dict[LinkClass, LatencyModel] = models
 
+    # -- membership ----------------------------------------------------------
+
+    def add_node(self, dc_index: int) -> int:
+        """Place one new node in datacenter ``dc_index``; returns its id.
+
+        Elastic bootstrap appends ids (existing placements never shift), so
+        after growth node ids of a datacenter are no longer contiguous --
+        :meth:`nodes_in_dc` scans the placement list instead of assuming
+        dense ranges.
+        """
+        if not (0 <= dc_index < len(self.datacenters)):
+            raise ConfigError(
+                f"datacenter index {dc_index} outside 0..{len(self.datacenters) - 1}"
+            )
+        node_id = len(self._node_dc)
+        self._node_dc.append(dc_index)
+        self.nodes_per_dc[dc_index] += 1
+        self.n_nodes += 1
+        return node_id
+
     # -- placement queries ---------------------------------------------------
 
     def dc_of(self, node_id: int) -> int:
@@ -122,8 +142,7 @@ class Topology:
 
     def nodes_in_dc(self, dc_index: int) -> List[int]:
         """All node ids placed in datacenter ``dc_index``."""
-        start = sum(self.nodes_per_dc[:dc_index])
-        return list(range(start, start + self.nodes_per_dc[dc_index]))
+        return [n for n, dc in enumerate(self._node_dc) if dc == dc_index]
 
     def link_class(self, src: int, dst: int) -> LinkClass:
         """Classify the (src, dst) node pair."""

@@ -58,8 +58,7 @@ class TxnClient:
         self.chooser = spec.make_chooser(rng=rng)
         self.on_finished = on_finished
         self.issued = 0
-        store = tstore.store
-        self._coords = store.topology.nodes_in_dc(dc) if dc is not None else None
+        self._dc = dc
 
     def start(self) -> None:
         """Begin issuing transactions (call before ``sim.run``)."""
@@ -72,9 +71,12 @@ class TxnClient:
     # -- internals ---------------------------------------------------------------
 
     def _coordinator(self) -> Optional[int]:
-        if self._coords is None:
+        if self._dc is None:
             return None
-        return self._coords[int(self.rng.integers(0, len(self._coords)))]
+        coords = self.tstore.store.coordinator_pool(self._dc)
+        if not coords:
+            return None
+        return coords[int(self.rng.integers(0, len(coords)))]
 
     def _issue_next(self) -> None:
         if self.remaining <= 0:

@@ -109,7 +109,9 @@ class TransactionManager:
 
         writes_by_node: Dict[int, Dict[str, Version]] = {}
         for key, version in writes_by_key.items():
-            for r in st.strategy.replicas(key, st.ring, st.topology):
+            # Authoritative owners plus any incoming owners of a pending
+            # migration: 2PC applies must land on both sides of a hand-off.
+            for r in st.all_replicas(key):
                 writes_by_node.setdefault(r, {})[key] = version
         participants = sorted(writes_by_node)
 
@@ -197,7 +199,7 @@ class TransactionManager:
 
     def _replica_count(self, key: str) -> int:
         st = self.owner.store
-        return len(st.strategy.replicas(key, st.ring, st.topology))
+        return len(st.replica_sets(key)[0])
 
     def _send_decisions(self, t: _TmTxn) -> None:
         st = self.owner.store

@@ -100,10 +100,7 @@ class ClosedLoopClient:
         self.inserted = 0
         self.on_finished = on_finished
         self.issued = 0
-        coords = (
-            store.topology.nodes_in_dc(dc) if dc is not None else None
-        )
-        self._coords = coords
+        self._dc = dc
 
     def start(self) -> None:
         """Begin issuing operations (call before ``sim.run``)."""
@@ -116,9 +113,14 @@ class ClosedLoopClient:
     # -- internals ---------------------------------------------------------------
 
     def _coordinator(self) -> Optional[int]:
-        if self._coords is None:
+        # Drawn from the store's live pool per operation (not a list frozen
+        # at construction) so elastic membership reshapes coordinator load.
+        if self._dc is None:
             return None
-        return self._coords[int(self.rng.integers(0, len(self._coords)))]
+        coords = self.store.coordinator_pool(self._dc)
+        if not coords:
+            return None
+        return coords[int(self.rng.integers(0, len(coords)))]
 
     def _issue_next(self) -> None:
         if self.remaining <= 0:
@@ -164,6 +166,15 @@ class ClosedLoopClient:
 
         return then_write
 
+    def set_rate(self, target_rate: Optional[float]) -> None:
+        """Re-pace this client mid-run (diurnal load shapes).
+
+        The next operation honors the new rate; the pacing deadline is
+        clamped to now so a rate drop never produces a catch-up burst.
+        """
+        self.interval = 1.0 / target_rate if target_rate else 0.0
+        self._deadline = max(self._deadline, self.store.sim.now)
+
     def _op_done(self, result: OpResult) -> None:
         now = self.store.sim.now
         if self.interval > 0.0:
@@ -208,7 +219,7 @@ class OpenLoopSource:
         self.remaining = int(ops)
         self.rng = rng
         self.chooser = spec.make_chooser(rng=rng)
-        self._coords = store.topology.nodes_in_dc(dc) if dc is not None else None
+        self._dc = dc
 
     def start(self) -> None:
         """Schedule all arrivals up front (exact Poisson process)."""
@@ -220,9 +231,12 @@ class OpenLoopSource:
         self.remaining = 0
 
     def _coordinator(self) -> Optional[int]:
-        if self._coords is None:
+        if self._dc is None:
             return None
-        return self._coords[int(self.rng.integers(0, len(self._coords)))]
+        coords = self.store.coordinator_pool(self._dc)
+        if not coords:
+            return None
+        return coords[int(self.rng.integers(0, len(coords)))]
 
     def _issue_one(self) -> None:
         now = self.store.sim.now
@@ -264,6 +278,9 @@ class RunReport:
     #: percentiles) when the run was driven by the txn harness; ``None``
     #: for plain single-op runs.
     txn: Optional[Dict[str, Any]] = None
+    #: elasticity metrics (scale events, ranges moved, bytes streamed) when
+    #: the run was driven by the elastic harness; ``None`` otherwise.
+    elastic: Optional[Dict[str, Any]] = None
 
     def level_mix(self) -> str:
         """Compact ``label:count`` summary of read levels used (for reports)."""
@@ -337,6 +354,9 @@ class WorkloadRunner:
         self._t_last_op = 0.0
         self._warmup_remaining = int(self.ops_total * self.warmup_fraction)
         self._t_measure_start = 0.0
+        #: the live clients of the current run (populated by :meth:`run`);
+        #: the elastic harness re-paces them mid-run for diurnal shapes.
+        self.clients: List[ClosedLoopClient] = []
 
     def run(self) -> RunReport:
         """Execute the workload and return the report."""
@@ -359,7 +379,7 @@ class WorkloadRunner:
         )
         n_dcs = len(store.topology.datacenters)
         t_start = store.sim.now
-        clients = []
+        clients = self.clients
         for i in range(self.n_clients):
             ops = per_client + (1 if i < extra else 0)
             client = ClosedLoopClient(

@@ -72,6 +72,36 @@ class TestMain:
         assert "geo-replication" in out
         assert "node-failure-storm" in out
 
+    def test_scenarios_json_listing(self, capsys):
+        import json
+
+        from repro.experiments import scenarios
+
+        assert main(["scenarios", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in doc}
+        # machine-readable contract: name, params, description, tags, kind
+        assert set(by_name) == set(scenarios.names())
+        geo = by_name["geo-replication"]
+        assert geo["description"]
+        assert geo["params"] == {"tolerance": 0.2}
+        assert geo["kind"] == "plain"
+        assert by_name["txn-shootout"]["kind"] == "txn"
+        assert by_name["elastic-flash-crowd"]["kind"] == "elastic"
+
+    def test_elastic_small_run(self, capsys):
+        assert main(["elastic", "--scenario", "elastic-rebalance-storm",
+                     "--ops", "2000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "keys streamed" in out
+        assert "membership timeline:" in out
+        assert "scale-out" in out
+
+    def test_elastic_rejects_non_elastic_scenario(self, capsys):
+        assert main(["elastic", "--scenario", "geo-replication"]) == 2
+        err = capsys.readouterr().err
+        assert "not an elastic scenario" in err
+
     def test_sweep_small_run(self, capsys, tmp_path):
         out_dir = tmp_path / "results"
         assert (

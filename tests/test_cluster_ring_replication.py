@@ -80,6 +80,50 @@ class TestTokenRing:
         assert sorted(ring.walk(token)) == list(range(5))
 
 
+class TestBoundedMovement:
+    """The consistent-hashing contract: membership changes move O(1/N) keys.
+
+    Adding one node to an N-node ring remaps about 1/(N+1) of the keys, and
+    *never* remaps a key between two surviving nodes -- movement only flows
+    toward the joiner (and, on removal, only away from the leaver).
+    """
+
+    SAMPLE = 20_000
+
+    @pytest.mark.parametrize("n_nodes", [4, 8, 16])
+    def test_join_moves_about_one_over_n_plus_one(self, n_nodes):
+        before = TokenRing(n_nodes, vnodes=32)
+        after = TokenRing(n_nodes, vnodes=32)
+        after.add_node(n_nodes)
+        moved = 0
+        for i in range(self.SAMPLE):
+            t = token_of(f"user{i}")
+            a, b = before.primary_for_token(t), after.primary_for_token(t)
+            if a != b:
+                # a remap between two survivors would double data motion
+                assert b == n_nodes, f"key moved {a} -> {b}, not to the joiner"
+                moved += 1
+        expected = 1.0 / (n_nodes + 1)
+        # vnode placement is random-ish; allow a generous band around 1/(N+1)
+        assert 0.4 * expected < moved / self.SAMPLE < 2.0 * expected
+
+    @pytest.mark.parametrize("n_nodes", [4, 8, 16])
+    def test_leave_moves_only_the_leavers_keys(self, n_nodes):
+        before = TokenRing(n_nodes, vnodes=32)
+        after = TokenRing(n_nodes, vnodes=32)
+        leaver = n_nodes // 2
+        after.remove_node(leaver)
+        moved = 0
+        for i in range(self.SAMPLE):
+            t = token_of(f"user{i}")
+            a, b = before.primary_for_token(t), after.primary_for_token(t)
+            if a != b:
+                assert a == leaver, f"key moved {a} -> {b}, not from the leaver"
+                moved += 1
+        expected = 1.0 / n_nodes
+        assert 0.4 * expected < moved / self.SAMPLE < 2.0 * expected
+
+
 class TestSimpleStrategy:
     def test_validation(self):
         with pytest.raises(ConfigError):

@@ -118,7 +118,11 @@ class TestClosedLoopClient:
             rng=np.random.default_rng(0),
             dc=1,
         )
-        assert set(client._coords) == {3, 4}
+        # coordinators come from the store's live per-DC pool, re-queried
+        # each op (so elastic membership changes reshape coordinator load)
+        assert set(store.coordinator_pool(1)) == {3, 4}
+        for _ in range(20):
+            assert client._coordinator() in {3, 4}
 
     def test_rmw_issues_read_then_write(self, simple_store):
         spec = WorkloadSpec(
