@@ -17,7 +17,6 @@ Four knobs, each isolated on the Grid'5000 Bismar preset:
 import pytest
 
 from repro.common.tables import Table
-from repro.cluster.store import StoreConfig
 from repro.experiments.platforms import grid5000_bismar_platform
 from repro.experiments.runner import harmony_factory, run_one, static_factory
 from repro.monitor.collector import ClusterMonitor

@@ -12,8 +12,6 @@ Three mini-experiments for the paper's stated follow-on directions:
    over a heavy run: zero violations after drain.
 """
 
-import pytest
-
 from repro.common.tables import Table
 from repro.cluster.deadline import FreshnessDeadline
 from repro.cost.power import PowerModel

@@ -10,9 +10,6 @@ change rather than as mysteriously slow experiments:
 - end-to-end simulated operations per wall second.
 """
 
-import numpy as np
-
-from repro.cluster.store import StoreConfig
 from repro.experiments.platforms import ec2_harmony_platform
 from repro.policy import StaticPolicy
 from repro.simcore.simulator import Simulator

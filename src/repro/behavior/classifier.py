@@ -12,7 +12,6 @@ to the nearest state centroid.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -18,7 +18,7 @@ signals that determine consistency requirements:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np

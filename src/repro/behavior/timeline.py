@@ -10,7 +10,7 @@ the *runtime classifier* must apply exactly the same transform.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

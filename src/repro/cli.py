@@ -254,6 +254,47 @@ def _elastic(args) -> None:
             )
 
 
+def _bench(args) -> None:
+    from repro.perf.compare import compare_reports, load_report
+    from repro.perf.runner import BenchRunner
+    from repro.perf.specs import REGISTRY, names
+
+    if args.list:
+        for name in names():
+            spec = REGISTRY[name]
+            tags = ",".join(spec.tags)
+            print(f"{name:22s} {spec.description}  [{tags}]")
+        return
+
+    runner = BenchRunner(repeats=args.repeat, quick=args.quick, seed=args.seed)
+    report = runner.run(
+        args.filter,
+        progress=lambda spec: print(f"  running {spec.name} ...", flush=True),
+    )
+    print(report.table().render())
+    paths = report.write(args.out)
+    print(f"wrote {paths['json']} and {paths['csv']}")
+    if args.baseline:
+        print(f"wrote baseline {report.write_baseline(args.baseline)}")
+    if args.compare:
+        comparison = compare_reports(
+            load_report(args.compare),
+            report,
+            tolerance=args.tolerance,
+            require_all=not args.filter,
+        )
+        print(comparison.table().render())
+        if not comparison.ok:
+            failed = comparison.regressions + comparison.missing
+            print(
+                f"perf gate FAILED: {', '.join(failed)} "
+                f"(tolerance ±{args.tolerance:.0%})",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print("perf gate ok")
+
+
 def _sweep(args) -> None:
     from repro.experiments.sweep import SweepRunner, parse_grid, plan_sweep
 
@@ -284,6 +325,7 @@ COMMANDS: Dict[str, Callable] = {
     "txn": _txn,
     "elastic": _elastic,
     "sweep": _sweep,
+    "bench": _bench,
 }
 
 
@@ -301,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         "txn": "run an atomic multi-key transaction mix under 2PC",
         "elastic": "run an elastic scenario and print its membership timeline",
         "sweep": "run registered scenarios over a parameter grid in parallel",
+        "bench": "run the performance benchmark suite (perf trajectory + gate)",
     }
     for name in COMMANDS:
         p = sub.add_parser(name, help=helps.get(name, f"run experiment {name}"))
@@ -334,6 +377,47 @@ def build_parser() -> argparse.ArgumentParser:
                 default="elastic-flash-crowd",
                 metavar="NAME",
                 help="elastic scenario to run (default: elastic-flash-crowd)",
+            )
+        if name == "bench":
+            p.add_argument(
+                "--quick",
+                action="store_true",
+                help="seconds-scale variant of every benchmark (the CI gate)",
+            )
+            p.add_argument(
+                "--filter",
+                action="append",
+                default=None,
+                metavar="TERM",
+                help="select benchmarks whose name/tags contain TERM (repeatable)",
+            )
+            p.add_argument(
+                "--repeat", type=int, default=3,
+                help="wall-clock samples per benchmark (best-of-N, default 3)",
+            )
+            p.add_argument(
+                "--out", default="benchmarks", metavar="DIR",
+                help="perf-trajectory directory for BENCH_<n>.json/.csv "
+                "(default: benchmarks)",
+            )
+            p.add_argument(
+                "--baseline", default=None, metavar="PATH",
+                help="also write this run as the comparison baseline at PATH",
+            )
+            p.add_argument(
+                "--compare", default=None, metavar="PATH",
+                help="gate against the baseline at PATH (non-zero exit on "
+                "regression)",
+            )
+            p.add_argument(
+                "--tolerance", type=float, default=0.25,
+                help="allowed relative throughput loss before the gate trips "
+                "(default 0.25)",
+            )
+            p.add_argument(
+                "--list",
+                action="store_true",
+                help="list registered benchmarks and exit",
             )
         if name == "sweep":
             p.add_argument(

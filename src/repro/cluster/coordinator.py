@@ -23,14 +23,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.common.errors import UnavailableError
-from repro.cluster.consistency import LevelSpec, Requirement, resolve_level
-from repro.cluster.node import StorageNode
-from repro.cluster.staleness import StalenessOracle
+from repro.cluster.consistency import (
+    ConsistencyLevel,
+    LevelSpec,
+    Requirement,
+    resolve_level,
+)
 from repro.cluster.versions import Version
-from repro.net.transport import Network
 
 __all__ = ["OpResult", "Coordinator", "MessageSizes"]
 
@@ -189,6 +188,37 @@ class Coordinator:
         self.node_id = int(node_id)
         self.dc = store.topology.dc_of(node_id)
 
+    def _requirement(
+        self, level: LevelSpec, replicas: Sequence[int], by_dc: Dict[int, int]
+    ) -> Requirement:
+        """Resolve ``level`` against this placement, memoized on the store.
+
+        :class:`Requirement` is immutable, so one resolved instance serves
+        every operation with the same (level, RF) shape -- which on a stable
+        cluster is *all* of them. The datacenter census and coordinator DC
+        join the key only for the DC-aware levels that actually depend on
+        them; numeric and count-based levels key on (level, RF) alone.
+        """
+        if type(level) is int:
+            key = (level, len(replicas))
+        elif (
+            level is ConsistencyLevel.LOCAL_QUORUM
+            or level is ConsistencyLevel.EACH_QUORUM
+        ):
+            key = (level, len(replicas), tuple(sorted(by_dc.items())), self.dc)
+        elif isinstance(level, ConsistencyLevel):
+            key = (level, len(replicas))
+        else:
+            # Unhashable/unknown specs fall through to the full resolver,
+            # which raises the proper ConfigError.
+            return resolve_level(level, len(replicas), by_dc, self.dc)
+        cache = self.store._requirement_cache
+        requirement = cache.get(key)
+        if requirement is None:
+            requirement = resolve_level(level, len(replicas), by_dc, self.dc)
+            cache[key] = requirement
+        return requirement
+
     # ------------------------------------------------------------------ write
 
     def write(
@@ -201,10 +231,8 @@ class Coordinator:
         """Coordinate one write; ``done(result)`` fires on ack or failure."""
         st = self.store
         sim = st.sim
-        replicas, extra = st.replica_sets(key)
-        requirement = resolve_level(
-            level, len(replicas), _count_by_dc(st, replicas), self.dc
-        )
+        replicas, extra, by_dc = st.replica_info(key)
+        requirement = self._requirement(level, replicas, by_dc)
         result = OpResult("write", key, sim.now, requirement.label)
         result.value_size = value_size
         result.ack_delays = []
@@ -348,10 +376,8 @@ class Coordinator:
         """
         st = self.store
         sim = st.sim
-        replicas, _ = st.replica_sets(key)
-        requirement = resolve_level(
-            level, len(replicas), _count_by_dc(st, replicas), self.dc
-        )
+        replicas, _, by_dc = st.replica_info(key)
+        requirement = self._requirement(level, replicas, by_dc)
         result = OpResult("read", key, sim.now, requirement.label)
 
         targets = self._select_read_targets(replicas, requirement)
@@ -496,15 +522,6 @@ class Coordinator:
         op.result.error = "timeout"
         self.store._count_failure("read", "timeout")
         op.done_cb(op.result)
-
-
-def _count_by_dc(store, replicas: Sequence[int]) -> Dict[int, int]:
-    """Replica count per datacenter of an explicit replica list."""
-    counts: Dict[int, int] = {}
-    for r in replicas:
-        dc = store.topology.dc_of(r)
-        counts[dc] = counts.get(dc, 0) + 1
-    return counts
 
 
 def _ignore_apply(node_id: int, key: str, version: Version) -> None:

@@ -16,7 +16,7 @@ must call :meth:`ReplicationStrategy.clear_cache`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence
 
 from repro.common.errors import ConfigError, ConsistencyError
 from repro.cluster.ring import TokenRing

@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -91,6 +91,9 @@ class TokenRing:
             raise ConfigError(f"vnodes must be >= 1, got {vnodes}")
         self.vnodes = int(vnodes)
         self._members: set = set(range(n_nodes))
+        #: memoized ownership_fractions result; layout-dependent, so every
+        #: membership change resets it.
+        self._fractions: Optional[np.ndarray] = None
 
         pairs: List[Tuple[int, int]] = []
         for node in range(n_nodes):
@@ -139,6 +142,7 @@ class TokenRing:
             self._tokens.insert(idx, t)
             self._owners.insert(idx, node_id)
         self._members.add(node_id)
+        self._fractions = None
         return _ownership_diff(old_tokens, old_owners, self._tokens, self._owners)
 
     def remove_node(self, node_id: int) -> List[MovedRange]:
@@ -158,6 +162,7 @@ class TokenRing:
         self._tokens = [self._tokens[i] for i in keep]
         self._owners = [self._owners[i] for i in keep]
         self._members.discard(node_id)
+        self._fractions = None
         return _ownership_diff(old_tokens, old_owners, self._tokens, self._owners)
 
     # -- lookups -------------------------------------------------------------
@@ -198,15 +203,22 @@ class TokenRing:
         widths. Entry ``i`` of the result is node id ``i``'s share
         (decommissioned ids, if any, read 0). ``sample`` is kept for
         backwards compatibility and ignored -- the computation is exact.
+
+        The result is memoized per ring layout (membership changes
+        invalidate it), so load monitors may poll every tick for one dict
+        hit. Treat the returned array as read-only.
         """
         del sample  # deprecated: the gap computation needs no sampling
+        if self._fractions is not None:
+            return self._fractions
         tokens, owners = self._tokens, self._owners
         fractions = np.zeros(max(self._members) + 1, dtype=np.float64)
         prev = tokens[-1] - TOKEN_SPACE  # wraparound arc ends at tokens[0]
         for t, owner in zip(tokens, owners):
             fractions[owner] += t - prev
             prev = t
-        return fractions / float(TOKEN_SPACE)
+        self._fractions = fractions / float(TOKEN_SPACE)
+        return self._fractions
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TokenRing(nodes={self.n_nodes}, vnodes={self.vnodes})"
@@ -226,21 +238,48 @@ def _ownership_diff(
     lies strictly inside one). Arcs whose owner differs between the layouts
     are emitted, with consecutive same-transition arcs merged (including
     across the wraparound seam).
+
+    Both layouts' token arrays are already sorted, so the elementary-arc
+    owners are extracted with two linear merge cursors -- one O(V) pass
+    total instead of a bisect per boundary per layout.
     """
-    boundaries = sorted(set(old_tokens) | set(new_tokens))
+    # Merge the two sorted token arrays into the deduplicated boundary list.
+    boundaries: List[int] = []
+    i, j = 0, 0
+    n_old, n_new = len(old_tokens), len(new_tokens)
+    while i < n_old or j < n_new:
+        if j >= n_new or (i < n_old and old_tokens[i] <= new_tokens[j]):
+            t = old_tokens[i]
+            i += 1
+            if j < n_new and new_tokens[j] == t:
+                j += 1
+        else:
+            t = new_tokens[j]
+            j += 1
+        boundaries.append(t)
     n = len(boundaries)
 
-    def owner(tokens: Sequence[int], owners: Sequence[int], arc_start: int) -> int:
-        # primary_for_token of the arc's first token: owner constant on the
-        # whole elementary arc because no token of this layout is inside it.
-        idx = bisect_right(tokens, arc_start) % len(owners)
-        return owners[idx]
+    def arc_owners(tokens: Sequence[int], owners: Sequence[int]) -> List[int]:
+        # Owner of the arc starting at each boundary: the owner of the first
+        # vnode strictly after it (primary_for_token semantics). Boundaries
+        # ascend, so one cursor sweeps the layout's token array once.
+        n_tokens = len(tokens)
+        out: List[int] = []
+        cursor = bisect_right(tokens, boundaries[0])
+        for b in boundaries:
+            while cursor < n_tokens and tokens[cursor] <= b:
+                cursor += 1
+            out.append(owners[cursor % n_tokens])
+        return out
+
+    before_owners = arc_owners(old_tokens, old_owners)
+    after_owners = arc_owners(new_tokens, new_owners)
 
     moved: List[MovedRange] = []
     for i, b in enumerate(boundaries):
         end = boundaries[(i + 1) % n]
-        before = owner(old_tokens, old_owners, b)
-        after = owner(new_tokens, new_owners, b)
+        before = before_owners[i]
+        after = after_owners[i]
         if before != after:
             if (
                 moved

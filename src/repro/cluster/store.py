@@ -29,9 +29,7 @@ offline rebalance), which keeps bare-store membership tests simple.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.rng import RngFactory
@@ -192,6 +190,21 @@ class ReplicatedStore:
         self._written_set: set = set()
         self._listeners: List[Any] = []
         self._node_listeners: List[Any] = []
+        # Pre-bound listener hooks: the operation-completion fan-out runs per
+        # op, so the getattr probes happen once per add_listener, not per op.
+        self._op_complete_hooks: List[Callable[[OpResult], Any]] = []
+        self._propagated_hooks: List[Callable[[OpResult], Any]] = []
+        # Per-key placement memo: (authoritative, extra, replicas_by_dc) as
+        # resolved by replica_sets/replica_info. Invalidated wholesale on
+        # membership changes and per key when a migration hand-off completes
+        # (the rebalancer owns that signal).
+        self._placement_cache: Dict[
+            str, Tuple[List[int], Tuple[int, ...], Dict[int, int]]
+        ] = {}
+        # Resolved consistency requirements, keyed by the coordinator layer
+        # on (level, rf, per-DC signature): Requirement objects are immutable
+        # so one instance serves every operation with the same shape.
+        self._requirement_cache: Dict[Any, Any] = {}
         #: streaming rebalancer (attached by :mod:`repro.elastic`); when
         #: ``None``, membership changes rebalance offline (instant copy).
         self.rebalancer: Optional[Any] = None
@@ -259,6 +272,10 @@ class ReplicatedStore:
         is complete at that point -- the observable propagation profile).
         """
         self._listeners.append(listener)
+        self._op_complete_hooks.append(listener.on_op_complete)
+        propagated = getattr(listener, "on_write_propagated", None)
+        if propagated is not None:
+            self._propagated_hooks.append(propagated)
 
     def add_node_listener(self, listener: Any) -> None:
         """Register an observer of node lifecycle events.
@@ -271,10 +288,8 @@ class ReplicatedStore:
         self._node_listeners.append(listener)
 
     def _notify_propagated(self, result) -> None:
-        for listener in self._listeners:
-            hook = getattr(listener, "on_write_propagated", None)
-            if hook is not None:
-                hook(result)
+        for hook in self._propagated_hooks:
+            hook(result)
 
     def _notify_node_event(self, event: str, node_id: int) -> None:
         for listener in self._node_listeners:
@@ -307,14 +322,56 @@ class ReplicatedStore:
         no migration pending, ``authoritative`` is simply the strategy's
         placement and ``extra`` is empty.
         """
+        info = self._placement_cache.get(key)
+        if info is None:
+            info = self.replica_info(key)
+        return info[0], info[1]
+
+    def replica_info(
+        self, key: str
+    ) -> Tuple[List[int], Tuple[int, ...], Dict[int, int]]:
+        """``(authoritative, extra, replicas_by_dc)`` for ``key``, memoized.
+
+        The per-operation placement resolve: one dict hit on the hot path
+        instead of re-walking the strategy, the rebalancer's pending table
+        and the datacenter census per operation. Entries are invalidated
+        wholesale on membership changes (:meth:`_apply_membership_change`)
+        and per key when a streaming migration hand-off completes
+        (:meth:`invalidate_placement`, called by the rebalancer).
+        """
+        info = self._placement_cache.get(key)
+        if info is not None:
+            return info
         new = self.strategy.replicas(key, self.ring, self.topology)
         reb = self.rebalancer
-        if reb is None:
-            return new, ()
-        old = reb.pending_old_replicas(key)
+        old = reb.pending_old_replicas(key) if reb is not None else None
         if old is None:
-            return new, ()
-        return list(old), tuple(n for n in new if n not in old)
+            authoritative: List[int] = new
+            extra: Tuple[int, ...] = ()
+        else:
+            authoritative = list(old)
+            extra = tuple(n for n in new if n not in old)
+        by_dc: Dict[int, int] = {}
+        dc_of = self.topology.dc_of
+        for r in authoritative:
+            dc = dc_of(r)
+            by_dc[dc] = by_dc.get(dc, 0) + 1
+        info = (authoritative, extra, by_dc)
+        self._placement_cache[key] = info
+        return info
+
+    def invalidate_placement(self, key: Optional[str] = None) -> None:
+        """Drop memoized placement for ``key`` (or everything when ``None``).
+
+        Correctness contract: anything that changes what
+        :meth:`replica_info` would answer -- ring membership, the
+        rebalancer's pending table -- must call this before the next
+        operation resolves placement.
+        """
+        if key is None:
+            self._placement_cache.clear()
+        else:
+            self._placement_cache.pop(key, None)
 
     def coordinator_pool(self, dc_index: int) -> List[int]:
         """Non-retired nodes of ``dc_index`` that can front client requests.
@@ -357,6 +414,7 @@ class ReplicatedStore:
         self._instance_count += 1
         self._coord_pools = None
         node_id = self.topology.add_node(dc_index)
+        self.network.clear_topology_cache()
         self._instance_spans.append([self.sim.now, None])
         self.nodes.append(
             StorageNode(
@@ -408,6 +466,7 @@ class ReplicatedStore:
         }
         moved = mutate_ring()
         self.strategy.clear_cache()
+        self.invalidate_placement()
         pending: Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
         for key in self._written_keys:
             new = tuple(self.strategy.replicas(key, self.ring, self.topology))
@@ -663,8 +722,8 @@ class ReplicatedStore:
                 else:
                     self.writes_ok += 1
                     self.write_latency.add(max(result.latency, 1e-9))
-            for listener in self._listeners:
-                listener.on_op_complete(result)
+            for hook in self._op_complete_hooks:
+                hook(result)
             if user_done is not None:
                 user_done(result)
 

@@ -182,7 +182,20 @@ class Histogram:
     of the number of observations, which keeps million-op simulations cheap.
     """
 
-    __slots__ = ("lo", "hi", "nbuckets", "_edges", "_counts", "_below", "_above", "n", "_sum")
+    __slots__ = (
+        "lo",
+        "hi",
+        "nbuckets",
+        "_edges",
+        "_edges_list",
+        "_counts",
+        "_below",
+        "_above",
+        "n",
+        "_sum",
+        "_log_lo",
+        "_inv_log_step",
+    )
 
     def __init__(self, lo: float = 1e-5, hi: float = 100.0, nbuckets: int = 256):
         if lo <= 0 or hi <= lo:
@@ -191,11 +204,19 @@ class Histogram:
             raise ConfigError("need at least 2 buckets")
         self.lo, self.hi, self.nbuckets = float(lo), float(hi), int(nbuckets)
         self._edges = np.geomspace(lo, hi, nbuckets + 1)
-        self._counts = np.zeros(nbuckets, dtype=np.int64)
+        # Plain-python mirrors for the per-observation path: a scalar
+        # ``np.searchsorted`` call per latency sample costs more than the
+        # whole bucket update should. Buckets are geometric, so the index is
+        # closed-form in log space; the list lookup then nudges it to agree
+        # exactly with searchsorted's edge semantics despite float rounding.
+        self._edges_list: List[float] = self._edges.tolist()
+        self._counts: List[int] = [0] * nbuckets
         self._below = 0
         self._above = 0
         self.n = 0
         self._sum = 0.0
+        self._log_lo = math.log(self.lo)
+        self._inv_log_step = nbuckets / (math.log(self.hi) - self._log_lo)
 
     def add(self, x: float) -> None:
         """Record one observation."""
@@ -205,9 +226,26 @@ class Histogram:
             self._below += 1
         elif x >= self.hi:
             self._above += 1
+        elif x != x:
+            # NaN fails both range guards; searchsorted sorted it past the
+            # last edge into the top bucket, so keep doing exactly that
+            # rather than let math.log raise mid-run.
+            self._counts[self.nbuckets - 1] += 1
         else:
-            idx = int(np.searchsorted(self._edges, x, side="right")) - 1
-            self._counts[min(max(idx, 0), self.nbuckets - 1)] += 1
+            nb = self.nbuckets
+            idx = int((math.log(x) - self._log_lo) * self._inv_log_step)
+            if idx < 0:
+                idx = 0
+            elif idx >= nb:
+                idx = nb - 1
+            edges = self._edges_list
+            # Exact alignment with searchsorted(side="right") - 1: the
+            # closed form can be off by one at bucket boundaries.
+            while idx > 0 and edges[idx] > x:
+                idx -= 1
+            while idx < nb - 1 and edges[idx + 1] <= x:
+                idx += 1
+            self._counts[idx] += 1
 
     def add_many(self, xs: np.ndarray) -> None:
         """Record a batch of observations (vectorized)."""
@@ -219,7 +257,12 @@ class Histogram:
         inside = xs[(xs >= self.lo) & (xs < self.hi)]
         if inside.size:
             idx = np.searchsorted(self._edges, inside, side="right") - 1
-            np.add.at(self._counts, np.clip(idx, 0, self.nbuckets - 1), 1)
+            binc = np.bincount(
+                np.clip(idx, 0, self.nbuckets - 1), minlength=self.nbuckets
+            )
+            counts = self._counts
+            for i in np.nonzero(binc)[0]:
+                counts[i] += int(binc[i])
 
     @property
     def mean(self) -> float:

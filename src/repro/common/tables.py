@@ -15,11 +15,23 @@ __all__ = ["Table", "format_float"]
 
 
 def format_float(x: Any, digits: int = 3) -> str:
-    """Format numbers compactly; pass non-numbers through ``str``."""
-    if isinstance(x, bool) or not isinstance(x, (int, float)):
+    """Format numbers compactly; pass non-numbers through ``str``.
+
+    The exact-type fast paths skip the isinstance chain for the three types
+    that make up virtually every table cell (str passthrough, int, float);
+    subclasses (bool, numpy scalars) take the general path below and format
+    exactly as before.
+    """
+    tx = type(x)
+    if tx is str:
+        return x
+    if tx is int:
         return str(x)
-    if isinstance(x, int):
-        return str(x)
+    if tx is not float:
+        if isinstance(x, bool) or not isinstance(x, (int, float)):
+            return str(x)
+        if isinstance(x, int):
+            return str(x)
     if x != x:  # NaN
         return "nan"
     ax = abs(x)

@@ -19,7 +19,6 @@ both terms grow, which is precisely the effect the paper wants quantified.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.common.errors import ConfigError
 

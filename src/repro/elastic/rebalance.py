@@ -133,6 +133,7 @@ class StreamingRebalancer:
                 targets = {n for n in new if n not in existing.old}
                 if not targets:
                     del self._pending[key]
+                    st.invalidate_placement(key)
                     continue
                 existing.targets_left = targets
                 existing.attempts = {}
@@ -266,6 +267,9 @@ class StreamingRebalancer:
     def _finish_key(self, m: _KeyMigration) -> None:
         self.keys_streamed += 1
         del self._pending[m.key]
+        # The hand-off switches the key's authoritative set from the old
+        # owners to the strategy placement: drop the memoized resolve.
+        self.store.invalidate_placement(m.key)
 
     def _settle(self) -> None:
         """All migrations drained: retire leavers, announce completion."""

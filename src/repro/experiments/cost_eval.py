@@ -25,7 +25,7 @@ from repro.common.tables import Table
 from repro.cluster.consistency import ConsistencyLevel, resolve_level
 from repro.cost.billing import Bill
 from repro.experiments.platforms import Platform
-from repro.experiments.runner import run_one, static_factory
+from repro.experiments.runner import run_one
 from repro.monitor.collector import ClusterMonitor
 from repro.policy import StaticPolicy
 from repro.stale.model import params_from_snapshot, system_stale_rate

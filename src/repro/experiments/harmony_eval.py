@@ -25,7 +25,7 @@ from repro.cluster.consistency import ConsistencyLevel
 from repro.experiments.platforms import Platform
 from repro.experiments.runner import harmony_factory, run_one, static_factory
 from repro.workload.client import RunReport
-from repro.workload.workloads import WorkloadSpec, heavy_read_update
+from repro.workload.workloads import WorkloadSpec
 
 __all__ = ["HarmonyEvalResult", "run_harmony_eval"]
 

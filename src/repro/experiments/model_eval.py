@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.behavior.features import extract_features
 from repro.behavior.manager import BehaviorModel, BehaviorPolicy
 from repro.cost.billing import Bill, Biller
 from repro.experiments.platforms import Platform
-from repro.experiments.runner import run_one, static_factory
+from repro.experiments.runner import static_factory
 from repro.monitor.collector import ClusterMonitor
 from repro.policy import StaticPolicy
 from repro.stale.model import per_key_stale_probability

@@ -19,9 +19,8 @@ Latency calibration (one-way, lognormal with heavy tail):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
-from repro.cluster.node import ServiceModel
 from repro.cluster.replication import (
     NetworkTopologyStrategy,
     ReplicationStrategy,

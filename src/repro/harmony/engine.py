@@ -20,7 +20,7 @@ zero background machinery inside the simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.common.errors import ConfigError
 from repro.cluster.consistency import LevelSpec

@@ -18,7 +18,7 @@ Collected signals:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.common.errors import ConfigError

@@ -14,12 +14,11 @@ loop" rule.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.common.errors import ConfigError
-from repro.common.rng import spawn_rng
 
 __all__ = [
     "LatencyModel",

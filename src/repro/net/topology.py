@@ -18,8 +18,8 @@ in France (modelled ``INTER_REGION``-like WAN latency, zero billing).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.common.errors import ConfigError
 from repro.net.latency import FixedLatency, LatencyModel

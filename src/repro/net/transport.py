@@ -14,7 +14,7 @@ through. It does three jobs:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -26,52 +26,81 @@ from repro.simcore.simulator import Simulator
 __all__ = ["TrafficMatrix", "Network"]
 
 
+#: Stable small-int code per link class (list index into the hot counters).
+_CLASS_LIST = list(LinkClass)
+_CLASS_CODE: Dict[LinkClass, int] = {cls: i for i, cls in enumerate(_CLASS_LIST)}
+
+
 class TrafficMatrix:
     """Per-link-class message and byte counters.
 
     The unit of account for the network part of the cloud bill. Counters are
     cumulative; :meth:`snapshot` + :meth:`delta` support per-interval billing.
+
+    Internally the counters are lists indexed by a small int code:
+    ``Enum.__hash__`` is a Python-level call, and two enum-keyed dict
+    updates per message were among the hottest lines of a full store run.
+    The public ``messages`` / ``bytes`` mappings are built on access --
+    reporting and billing read them a handful of times per run.
     """
 
-    __slots__ = ("messages", "bytes")
+    __slots__ = ("_messages", "_bytes")
 
     def __init__(self) -> None:
-        self.messages: Dict[LinkClass, int] = {cls: 0 for cls in LinkClass}
-        self.bytes: Dict[LinkClass, int] = {cls: 0 for cls in LinkClass}
+        self._messages: List[int] = [0] * len(_CLASS_LIST)
+        self._bytes: List[int] = [0] * len(_CLASS_LIST)
+
+    @property
+    def messages(self) -> Dict[LinkClass, int]:
+        """Message count per link class (snapshot view)."""
+        return {cls: self._messages[i] for i, cls in enumerate(_CLASS_LIST)}
+
+    @property
+    def bytes(self) -> Dict[LinkClass, int]:
+        """Byte count per link class (snapshot view)."""
+        return {cls: self._bytes[i] for i, cls in enumerate(_CLASS_LIST)}
 
     def record(self, cls: LinkClass, nbytes: int) -> None:
         """Count one message of ``nbytes`` on link class ``cls``."""
-        self.messages[cls] += 1
-        self.bytes[cls] += nbytes
+        code = _CLASS_CODE[cls]
+        self._messages[code] += 1
+        self._bytes[code] += nbytes
+
+    def record_code(self, code: int, nbytes: int) -> None:
+        """Hot-path variant of :meth:`record` taking the precomputed code."""
+        self._messages[code] += 1
+        self._bytes[code] += nbytes
 
     def total_bytes(self) -> int:
         """All bytes across all link classes."""
-        return sum(self.bytes.values())
+        return sum(self._bytes)
 
     def billable_bytes(self) -> int:
         """Bytes on link classes clouds charge for (inter-AZ + inter-region)."""
-        return self.bytes[LinkClass.INTER_AZ] + self.bytes[LinkClass.INTER_REGION]
+        return (
+            self._bytes[_CLASS_CODE[LinkClass.INTER_AZ]]
+            + self._bytes[_CLASS_CODE[LinkClass.INTER_REGION]]
+        )
 
     def snapshot(self) -> "TrafficMatrix":
         """Deep copy of the current counters."""
         snap = TrafficMatrix()
-        snap.messages = dict(self.messages)
-        snap.bytes = dict(self.bytes)
+        snap._messages = list(self._messages)
+        snap._bytes = list(self._bytes)
         return snap
 
     def delta(self, earlier: "TrafficMatrix") -> "TrafficMatrix":
         """Counters accumulated since ``earlier`` (a prior :meth:`snapshot`)."""
         d = TrafficMatrix()
-        for cls in LinkClass:
-            d.messages[cls] = self.messages[cls] - earlier.messages[cls]
-            d.bytes[cls] = self.bytes[cls] - earlier.bytes[cls]
+        d._messages = [a - b for a, b in zip(self._messages, earlier._messages)]
+        d._bytes = [a - b for a, b in zip(self._bytes, earlier._bytes)]
         return d
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(
-            f"{cls.value}={self.bytes[cls]}B/{self.messages[cls]}msg"
-            for cls in LinkClass
-            if self.messages[cls]
+            f"{cls.value}={self._bytes[i]}B/{self._messages[i]}msg"
+            for i, cls in enumerate(_CLASS_LIST)
+            if self._messages[i]
         )
         return f"TrafficMatrix({parts or 'empty'})"
 
@@ -109,6 +138,30 @@ class Network:
         self.dropped: int = 0
         self._partitioned: Set[Tuple[int, int]] = set()  # (dc_a, dc_b) ordered pairs
         self._extra_delay: float = 0.0
+        # Per-(src, dst) route memo: (link class, its int code, latency
+        # model, DC pair). link_class + the enum-keyed dict lookups per
+        # message add up -- every replica fan-out crosses this path -- so
+        # the resolve happens once per node pair. Invalidated when the
+        # topology gains nodes (:meth:`clear_topology_cache`, called by the
+        # store's bootstrap).
+        self._route_cache: Dict[
+            Tuple[int, int], Tuple[LinkClass, int, Any, Tuple[int, int]]
+        ] = {}
+
+    def _route(
+        self, src: int, dst: int
+    ) -> Tuple[LinkClass, int, Any, Tuple[int, int]]:
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            cls = self.topology.link_class(src, dst)
+            dcs = (self.topology.dc_of(src), self.topology.dc_of(dst))
+            route = (cls, _CLASS_CODE[cls], self.topology.latency_models[cls], dcs)
+            self._route_cache[(src, dst)] = route
+        return route
+
+    def clear_topology_cache(self) -> None:
+        """Drop memoized routes after the topology changed (elastic growth)."""
+        self._route_cache.clear()
 
     # -- fault injection --------------------------------------------------------
 
@@ -155,13 +208,14 @@ class Network:
         dropped by a partition. ``deliver(*args)`` fires at ``now + delay``.
         Bytes are counted even for local messages (zero-priced link class).
         """
-        cls = self.topology.link_class(src, dst)
-        if cls is not LinkClass.LOCAL and self.is_partitioned(src, dst):
+        cls, code, model, dcs = self._route(src, dst)
+        local = cls is LinkClass.LOCAL
+        if not local and self._partitioned and dcs in self._partitioned:
             self.dropped += 1
             return None
-        self.traffic.record(cls, int(nbytes))
-        delay = self.topology.latency_models[cls].sample(self.rng)
-        if cls is not LinkClass.LOCAL:
+        self.traffic.record_code(code, int(nbytes))
+        delay = model.sample(self.rng)
+        if not local:
             delay += self._extra_delay
         self.sim.schedule(delay, deliver, *args)
         return delay

@@ -1,0 +1,38 @@
+"""Performance subsystem: benchmark registry, runner, and regression gate.
+
+The ROADMAP's north star is a system that runs "as fast as the hardware
+allows" -- which is only a meaningful claim if speed is *measured*, every
+PR, with machine-readable artifacts. This package provides that:
+
+- :mod:`repro.perf.specs` -- a declarative :class:`~repro.perf.specs.BenchSpec`
+  registry (mirroring ``experiments/scenarios.py``) covering every hot layer:
+  the event engine, the replicated-store data path, workload clients, ring
+  membership, sweep aggregation, 2PC and elastic scaling;
+- :mod:`repro.perf.runner` -- a :class:`~repro.perf.runner.BenchRunner` that
+  executes each spec N times with deterministic seeds and records wall-clock,
+  events-per-second and peak RSS into a schema-versioned ``BENCH_<n>.json``
+  (plus a CSV rendered via :mod:`repro.common.tables`);
+- :mod:`repro.perf.compare` -- baseline comparison with a configurable
+  tolerance, the engine behind CI's perf-regression gate.
+
+Entry point: ``repro bench`` (see :mod:`repro.cli`).
+"""
+
+from repro.perf.compare import BenchComparison, compare_reports, load_report
+from repro.perf.runner import BENCH_SCHEMA, BenchRecord, BenchReport, BenchRunner
+from repro.perf.specs import REGISTRY, BenchSpec, get, names, register
+
+__all__ = [
+    "BenchSpec",
+    "REGISTRY",
+    "register",
+    "get",
+    "names",
+    "BenchRunner",
+    "BenchReport",
+    "BenchRecord",
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "compare_reports",
+    "load_report",
+]

@@ -1,0 +1,137 @@
+"""Baseline comparison: the perf-regression gate behind ``repro bench --compare``.
+
+A comparison matches the current run's benchmarks against a baseline
+``BENCH_*.json`` by name and computes the events-per-second delta for each.
+A benchmark **regresses** when its throughput falls below
+``baseline * (1 - tolerance)``; any regression (or a benchmark that exists
+in the baseline but was not run) fails the gate, which CI turns into a red
+build. Improvements beyond the tolerance are highlighted so speedups are
+visible in the job log -- a reminder to refresh the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.common.errors import ConfigError
+from repro.common.tables import Table
+from repro.perf.runner import BENCH_SCHEMA, BenchReport
+
+__all__ = ["BenchComparison", "compare_reports", "load_report"]
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load and schema-check a ``BENCH_*.json`` document."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        raise ConfigError(f"baseline {path!r} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {path!r} is not valid JSON: {exc}") from None
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ConfigError(
+            f"baseline {path!r} has schema {schema!r}, expected {BENCH_SCHEMA!r}"
+        )
+    return doc
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of one baseline comparison."""
+
+    tolerance: float
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: benches in the baseline that the current run did not execute.
+    missing: List[str] = field(default_factory=list)
+    #: benches in the current run with no baseline entry (informational).
+    new: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[str]:
+        return [r["name"] for r in self.rows if r["verdict"] == "REGRESSED"]
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no regression and nothing missing."""
+        return not self.regressions and not self.missing
+
+    def table(self) -> Table:
+        t = Table(
+            f"bench compare (tolerance ±{self.tolerance:.0%})",
+            [
+                "bench",
+                "baseline_ev_s",
+                "current_ev_s",
+                "delta",
+                "verdict",
+            ],
+        )
+        for r in self.rows:
+            t.add_row(
+                [
+                    r["name"],
+                    f"{r['baseline_events_per_s']:.0f}",
+                    f"{r['current_events_per_s']:.0f}",
+                    f"{r['delta']:+.1%}",
+                    r["verdict"],
+                ]
+            )
+        for name in self.missing:
+            t.add_row([name, "-", "-", "-", "MISSING"])
+        for name in self.new:
+            t.add_row([name, "-", "-", "-", "NEW"])
+        return t
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: BenchReport,
+    tolerance: float = 0.25,
+    require_all: bool = True,
+) -> BenchComparison:
+    """Compare a fresh run against a baseline document.
+
+    ``tolerance`` is the allowed relative throughput loss (0.25 = a bench
+    may run up to 25% slower than the baseline before the gate trips);
+    wall-clock gates must leave room for machine-to-machine noise, which is
+    why the default is generous and CI pins its own value explicitly.
+    ``require_all=False`` skips the missing-benchmark check -- the right
+    mode for ``--filter``-restricted local runs, where unselected baseline
+    entries are absent by design, not silently dropped.
+    """
+    if not (0.0 < tolerance < 1.0):
+        raise ConfigError(f"tolerance must be in (0, 1), got {tolerance}")
+    base_by_name = {b["name"]: b for b in baseline.get("benches", [])}
+    comparison = BenchComparison(tolerance=float(tolerance))
+    current_names = set()
+    for record in current.records:
+        current_names.add(record.name)
+        base = base_by_name.get(record.name)
+        if base is None:
+            comparison.new.append(record.name)
+            continue
+        base_eps = float(base["events_per_s"])
+        cur_eps = record.events_per_s
+        delta = (cur_eps - base_eps) / base_eps if base_eps > 0 else 0.0
+        if delta < -tolerance:
+            verdict = "REGRESSED"
+        elif delta > tolerance:
+            verdict = "IMPROVED"
+        else:
+            verdict = "ok"
+        comparison.rows.append(
+            {
+                "name": record.name,
+                "baseline_events_per_s": base_eps,
+                "current_events_per_s": cur_eps,
+                "delta": delta,
+                "verdict": verdict,
+            }
+        )
+    if require_all:
+        comparison.missing = sorted(set(base_by_name) - current_names)
+    return comparison

@@ -1,0 +1,252 @@
+"""The benchmark runner: deterministic execution, timing, artifacts.
+
+:class:`BenchRunner` executes each selected :class:`~repro.perf.specs.BenchSpec`
+``repeats`` times with deterministic seeds and collects, per benchmark:
+
+- per-repeat **wall-clock** (``time.perf_counter`` around the spec ``fn``,
+  with a ``gc.collect()`` fence between repeats so collector debt from one
+  benchmark is not billed to the next);
+- **events-per-second** from the best (minimum) wall sample -- best-of-N is
+  the standard noise-robust statistic for regression gating;
+- **peak RSS** (``resource.getrusage`` high-water, kilobytes on Linux).
+  The OS counter is monotonic over the process lifetime, so per-benchmark
+  values measure the high-water *as of that benchmark* -- comparable across
+  runs because the execution order (registry order) is fixed.
+
+Artifacts are schema-versioned: :meth:`BenchReport.write` emits the next
+``BENCH_<n>.json`` in the output directory (the perf trajectory -- one file
+per recorded run, never overwritten) plus a ``BENCH_<n>.csv`` rendered via
+:class:`repro.common.tables.Table`.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.tables import Table
+from repro.perf.specs import BenchSpec, select
+
+__all__ = ["BENCH_SCHEMA", "BenchRecord", "BenchReport", "BenchRunner"]
+
+#: Artifact schema identifier; bump on any incompatible layout change.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in kilobytes (0 where the platform offers none)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes; normalize to KB.
+    if platform.system() == "Darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass
+class BenchRecord:
+    """Measured result of one benchmark (all repeats)."""
+
+    name: str
+    description: str
+    events_unit: str
+    params: Dict[str, Any]
+    events: int
+    wall_s: List[float] = field(default_factory=list)
+    peak_rss_kb: int = 0
+
+    @property
+    def wall_best_s(self) -> float:
+        """Fastest repeat -- the noise-robust statistic compare gates on."""
+        return min(self.wall_s)
+
+    @property
+    def wall_mean_s(self) -> float:
+        return sum(self.wall_s) / len(self.wall_s)
+
+    @property
+    def events_per_s(self) -> float:
+        """Throughput at the best repeat."""
+        return self.events / max(self.wall_best_s, 1e-12)
+
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON-safe document for the ``BENCH_<n>.json`` artifact."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "events_unit": self.events_unit,
+            "params": dict(sorted(self.params.items())),
+            "events": int(self.events),
+            "repeats": len(self.wall_s),
+            "wall_s": [round(w, 6) for w in self.wall_s],
+            "wall_best_s": round(self.wall_best_s, 6),
+            "wall_mean_s": round(self.wall_mean_s, 6),
+            "events_per_s": round(self.events_per_s, 3),
+            "peak_rss_kb": int(self.peak_rss_kb),
+        }
+
+
+@dataclass
+class BenchReport:
+    """One complete benchmark run: configuration plus per-bench records."""
+
+    quick: bool
+    repeats: int
+    seed: int
+    records: List[BenchRecord] = field(default_factory=list)
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "config": {
+                "quick": self.quick,
+                "repeats": self.repeats,
+                "seed": self.seed,
+            },
+            "host": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "system": platform.system(),
+                "cpu_count": os.cpu_count() or 0,
+            },
+            "benches": [r.to_doc() for r in self.records],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), sort_keys=True, indent=2) + "\n"
+
+    def table(self) -> Table:
+        """ASCII summary (the ``repro bench`` stdout report)."""
+        mode = "quick" if self.quick else "full"
+        t = Table(
+            f"bench: {len(self.records)} benchmarks ({mode}, "
+            f"best of {self.repeats}, seed {self.seed})",
+            [
+                "bench",
+                "events",
+                "unit",
+                "wall_best_s",
+                "wall_mean_s",
+                "events_per_s",
+                "peak_rss_kb",
+            ],
+        )
+        for r in self.records:
+            t.add_row(
+                [
+                    r.name,
+                    r.events,
+                    r.events_unit,
+                    f"{r.wall_best_s:.4f}",
+                    f"{r.wall_mean_s:.4f}",
+                    f"{r.events_per_s:.0f}",
+                    r.peak_rss_kb,
+                ]
+            )
+        return t
+
+    def to_csv(self) -> str:
+        return self.table().to_csv()
+
+    def write(self, out_dir: str) -> Dict[str, str]:
+        """Append this run to the perf trajectory under ``out_dir``.
+
+        Writes ``BENCH_<n>.json`` and ``BENCH_<n>.csv`` with ``n`` one past
+        the highest existing index -- artifacts accumulate, so the directory
+        is a machine-readable perf history of the repository.
+        """
+        os.makedirs(out_dir, exist_ok=True)
+        pattern = re.compile(r"^BENCH_(\d+)\.json$")
+        taken = [
+            int(m.group(1))
+            for f in os.listdir(out_dir)
+            if (m := pattern.match(f)) is not None
+        ]
+        n = max(taken, default=0) + 1
+        paths = {
+            "json": os.path.join(out_dir, f"BENCH_{n}.json"),
+            "csv": os.path.join(out_dir, f"BENCH_{n}.csv"),
+        }
+        with open(paths["json"], "w", encoding="utf-8") as f:
+            f.write(self.to_json())
+        with open(paths["csv"], "w", encoding="utf-8") as f:
+            f.write(self.to_csv())
+        return paths
+
+    def write_baseline(self, path: str) -> str:
+        """Write this run as the named comparison baseline (overwrites)."""
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_json())
+        return path
+
+
+class BenchRunner:
+    """Execute benchmark specs and collect a :class:`BenchReport`.
+
+    Parameters
+    ----------
+    repeats:
+        Wall-clock samples per benchmark (best-of-N gating).
+    quick:
+        Use each spec's ``quick`` parameter overrides.
+    seed:
+        Root seed passed to every spec (execution stays deterministic:
+        repeating a run re-processes the exact same events).
+    """
+
+    def __init__(self, repeats: int = 3, quick: bool = False, seed: int = 11):
+        if repeats < 1:
+            raise ConfigError(f"repeats must be >= 1, got {repeats}")
+        self.repeats = int(repeats)
+        self.quick = bool(quick)
+        self.seed = int(seed)
+
+    def run_one(self, spec: BenchSpec) -> BenchRecord:
+        """Execute one spec ``repeats`` times and record its samples."""
+        params = spec.resolve_params(self.seed, quick=self.quick)
+        record = BenchRecord(
+            name=spec.name,
+            description=spec.description,
+            events_unit=spec.events_unit,
+            params=params,
+            events=0,
+        )
+        prev: Optional[int] = None
+        for _ in range(self.repeats):
+            gc.collect()
+            t0 = time.perf_counter()
+            events = int(spec.fn(params))
+            record.wall_s.append(time.perf_counter() - t0)
+            if prev is not None and events != prev:
+                raise ConfigError(
+                    f"benchmark {spec.name!r} is non-deterministic: "
+                    f"{events} events vs {prev} on a prior repeat"
+                )
+            prev = events
+            record.events = events
+        record.peak_rss_kb = _peak_rss_kb()
+        return record
+
+    def run(
+        self, filters: Optional[List[str]] = None, progress=None
+    ) -> BenchReport:
+        """Execute every selected benchmark (sorted registry order)."""
+        report = BenchReport(quick=self.quick, repeats=self.repeats, seed=self.seed)
+        for spec in select(filters):
+            if progress is not None:
+                progress(spec)
+            report.records.append(self.run_one(spec))
+        return report

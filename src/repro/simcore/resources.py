@@ -14,7 +14,7 @@ the ``done`` callback fires when service completes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.stats import OnlineStats

@@ -32,7 +32,7 @@ Hence ``P = sum_{d, d'} p_d p_{d'} (1 - exp(-lambda_w * V(d, d')))`` with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import math
 

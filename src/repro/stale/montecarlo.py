@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.common.errors import ConfigError
 from repro.common.rng import spawn_rng
-from repro.cluster.consistency import quorum_intersects
 
 __all__ = ["MonteCarloStaleEstimator"]
 

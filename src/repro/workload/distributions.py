@@ -20,7 +20,6 @@ are formed by the workload layer (``user<index>`` like YCSB).
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

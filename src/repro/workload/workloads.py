@@ -17,8 +17,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.common.errors import ConfigError
-from repro.common.rng import spawn_rng
-from repro.workload.distributions import KeyChooser, UniformChooser, make_chooser
+from repro.workload.distributions import KeyChooser, make_chooser
 
 __all__ = [
     "WorkloadSpec",

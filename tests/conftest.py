@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster.replication import NetworkTopologyStrategy, SimpleStrategy
 from repro.cluster.store import ReplicatedStore, StoreConfig
-from repro.net.latency import FixedLatency, LogNormalLatency
+from repro.net.latency import FixedLatency
 from repro.net.topology import Datacenter, LinkClass, Topology
 from repro.simcore.simulator import Simulator
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.behavior.classifier import StateClassifier, features_from_monitor
+from repro.behavior.classifier import features_from_monitor
 from repro.behavior.clustering import KMeans, choose_k, silhouette_score
 from repro.behavior.features import FEATURE_NAMES, WindowFeatures, extract_features
 from repro.behavior.manager import BehaviorModel, BehaviorPolicy

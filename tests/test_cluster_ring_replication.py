@@ -8,7 +8,7 @@ from repro.common.errors import ConfigError, ConsistencyError
 from repro.cluster.partitioner import TOKEN_SPACE, token_of
 from repro.cluster.replication import NetworkTopologyStrategy, SimpleStrategy
 from repro.cluster.ring import TokenRing
-from repro.net.topology import Datacenter, Topology
+from repro.net.topology import Topology
 
 
 class TestPartitioner:

@@ -7,7 +7,6 @@ from repro.cluster.consistency import ConsistencyLevel
 from repro.cluster.node import ServiceModel, StorageNode
 from repro.cluster.store import ReplicatedStore, StoreConfig
 from repro.cluster.versions import NONE_VERSION, Version, max_version
-from repro.simcore.simulator import Simulator
 
 
 class TestVersion:

@@ -142,7 +142,7 @@ class TestTables:
         assert lines[0] == "title"
         assert "name" in lines[2] and "value" in lines[2]
         # all data lines have equal width
-        assert len(set(len(l) for l in lines[1:])) <= 2
+        assert len(set(len(line) for line in lines[1:])) <= 2
 
 
 class TestErrors:

@@ -10,7 +10,6 @@ from repro.cost.pricing import EC2_US_EAST_2013
 from repro.experiments.platforms import ec2_harmony_platform, grid5000_bismar_platform
 from repro.experiments.runner import (
     bismar_factory,
-    harmony_factory,
     run_one,
     static_factory,
 )

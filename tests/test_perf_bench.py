@@ -1,0 +1,242 @@
+"""Tests for the performance subsystem: registry, runner, compare, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ConfigError
+from repro.perf import specs
+from repro.perf.compare import compare_reports, load_report
+from repro.perf.runner import BENCH_SCHEMA, BenchRunner
+
+
+def _tiny_spec(name="tiny-test", events=1000):
+    return specs.BenchSpec(
+        name=name,
+        description="tiny deterministic test bench",
+        fn=lambda p: int(p["events"]),
+        defaults={"events": events},
+        quick={"events": events // 10},
+        events_unit="units",
+        tags=("testonly",),
+    )
+
+
+@pytest.fixture
+def tiny(monkeypatch):
+    spec = _tiny_spec()
+    monkeypatch.setitem(specs.REGISTRY, spec.name, spec)
+    return spec
+
+
+class TestRegistry:
+    def test_builtin_registry_covers_every_layer(self):
+        tags = set()
+        for name in specs.names():
+            tags.update(specs.get(name).tags)
+        for layer in ("engine", "store", "workload", "txn", "elastic", "sweep"):
+            assert layer in tags, f"no benchmark covers layer {layer!r}"
+
+    def test_register_rejects_duplicates(self, tiny):
+        with pytest.raises(ConfigError, match="already registered"):
+            specs.register(_tiny_spec())
+
+    def test_get_unknown_lists_alternatives(self):
+        with pytest.raises(ConfigError, match="choose from"):
+            specs.get("no-such-bench")
+
+    def test_select_filters_by_name_and_tag(self, tiny):
+        assert [s.name for s in specs.select(["tiny-te"])] == ["tiny-test"]
+        assert [s.name for s in specs.select(["testonly"])] == ["tiny-test"]
+        with pytest.raises(ConfigError, match="no benchmark matches"):
+            specs.select(["zzz-no-match"])
+
+    def test_resolve_params_quick_overrides_and_seed(self, tiny):
+        full = tiny.resolve_params(seed=7)
+        quick = tiny.resolve_params(seed=7, quick=True)
+        assert full == {"events": 1000, "seed": 7}
+        assert quick == {"events": 100, "seed": 7}
+
+
+class TestRunner:
+    def test_run_one_records_samples_and_events(self, tiny):
+        record = BenchRunner(repeats=3, seed=5).run_one(tiny)
+        assert record.events == 1000
+        assert len(record.wall_s) == 3
+        assert record.wall_best_s == min(record.wall_s)
+        assert record.events_per_s > 0
+        assert record.peak_rss_kb > 0
+
+    def test_rejects_nondeterministic_bench(self, monkeypatch):
+        drifting = iter([100, 101])
+        spec = specs.BenchSpec(
+            name="drift-test",
+            description="changes its event count between repeats",
+            fn=lambda p: next(drifting),
+        )
+        monkeypatch.setitem(specs.REGISTRY, spec.name, spec)
+        with pytest.raises(ConfigError, match="non-deterministic"):
+            BenchRunner(repeats=2).run_one(spec)
+
+    def test_rejects_nondeterminism_even_from_zero_events(self, monkeypatch):
+        drifting = iter([0, 50])
+        spec = specs.BenchSpec(
+            name="zero-drift-test",
+            description="first repeat reports zero events",
+            fn=lambda p: next(drifting),
+        )
+        monkeypatch.setitem(specs.REGISTRY, spec.name, spec)
+        with pytest.raises(ConfigError, match="non-deterministic"):
+            BenchRunner(repeats=2).run_one(spec)
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ConfigError):
+            BenchRunner(repeats=0)
+
+    def test_report_write_appends_to_trajectory(self, tiny, tmp_path):
+        runner = BenchRunner(repeats=1, quick=True)
+        report = runner.run(["tiny-test"])
+        first = report.write(str(tmp_path))
+        second = report.write(str(tmp_path))
+        assert first["json"].endswith("BENCH_1.json")
+        assert second["json"].endswith("BENCH_2.json")
+        doc = json.loads((tmp_path / "BENCH_1.json").read_text())
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["config"]["quick"] is True
+        (bench,) = doc["benches"]
+        assert bench["name"] == "tiny-test"
+        assert bench["events"] == 100
+        assert bench["wall_best_s"] <= bench["wall_mean_s"] + 1e-12
+        csv_text = (tmp_path / "BENCH_1.csv").read_text()
+        assert csv_text.splitlines()[0].startswith("bench,events,unit")
+
+
+class TestCompare:
+    def _report(self, tiny):
+        return BenchRunner(repeats=1, quick=True).run(["tiny-test"])
+
+    def test_self_compare_passes(self, tiny):
+        report = self._report(tiny)
+        comparison = compare_reports(report.to_doc(), report, tolerance=0.25)
+        assert comparison.ok
+        assert comparison.rows[0]["verdict"] == "ok"
+
+    def test_regression_beyond_tolerance_fails(self, tiny):
+        report = self._report(tiny)
+        baseline = report.to_doc()
+        baseline["benches"][0]["events_per_s"] *= 10.0
+        comparison = compare_reports(baseline, report, tolerance=0.25)
+        assert not comparison.ok
+        assert comparison.regressions == ["tiny-test"]
+
+    def test_improvement_is_flagged_not_failed(self, tiny):
+        report = self._report(tiny)
+        baseline = report.to_doc()
+        baseline["benches"][0]["events_per_s"] /= 10.0
+        comparison = compare_reports(baseline, report, tolerance=0.25)
+        assert comparison.ok
+        assert comparison.rows[0]["verdict"] == "IMPROVED"
+
+    def test_missing_bench_fails_unless_filtered(self, tiny):
+        report = self._report(tiny)
+        baseline = report.to_doc()
+        baseline["benches"].append(dict(baseline["benches"][0], name="ghost"))
+        strict = compare_reports(baseline, report, tolerance=0.25)
+        assert not strict.ok and strict.missing == ["ghost"]
+        filtered = compare_reports(
+            baseline, report, tolerance=0.25, require_all=False
+        )
+        assert filtered.ok
+
+    def test_new_bench_is_informational(self, tiny):
+        report = self._report(tiny)
+        comparison = compare_reports(
+            {"schema": BENCH_SCHEMA, "benches": []}, report, tolerance=0.25
+        )
+        assert comparison.ok
+        assert comparison.new == ["tiny-test"]
+
+    def test_bad_tolerance_rejected(self, tiny):
+        report = self._report(tiny)
+        with pytest.raises(ConfigError, match="tolerance"):
+            compare_reports(report.to_doc(), report, tolerance=1.5)
+
+    def test_load_report_validates(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            load_report(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_report(str(bad))
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"schema": "other/9", "benches": []}))
+        with pytest.raises(ConfigError, match="schema"):
+            load_report(str(wrong))
+
+
+class TestBenchCli:
+    def test_list_benches(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "engine-events" in out and "replica-lookup" in out
+
+    def test_quick_filtered_run_writes_artifacts(self, tiny, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--filter",
+                "tiny-test",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads((tmp_path / "BENCH_1.json").read_text())
+        assert doc["schema"] == BENCH_SCHEMA
+        assert "BENCH_1.json" in capsys.readouterr().out
+
+    def test_baseline_write_and_compare_pass(self, tiny, tmp_path, capsys):
+        baseline = tmp_path / "base" / "baseline.json"
+        args = [
+            "bench", "--quick", "--repeat", "1",
+            "--filter", "tiny-test", "--out", str(tmp_path),
+        ]
+        assert main(args + ["--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        assert main(args + ["--compare", str(baseline)]) == 0
+        assert "perf gate ok" in capsys.readouterr().out
+
+    def test_compare_regression_exits_nonzero(self, tiny, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = [
+            "bench", "--quick", "--repeat", "1",
+            "--filter", "tiny-test", "--out", str(tmp_path),
+        ]
+        assert main(args + ["--baseline", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["benches"][0]["events_per_s"] *= 10.0
+        baseline.write_text(json.dumps(doc))
+        with pytest.raises(SystemExit) as exc:
+            main(args + ["--compare", str(baseline)])
+        assert exc.value.code == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_unknown_filter_is_config_error(self, tmp_path):
+        code = main(
+            ["bench", "--quick", "--repeat", "1",
+             "--filter", "zzz-no-match", "--out", str(tmp_path)]
+        )
+        assert code == 2
+
+    def test_missing_baseline_is_config_error(self, tiny, tmp_path):
+        code = main(
+            ["bench", "--quick", "--repeat", "1", "--filter", "tiny-test",
+             "--out", str(tmp_path), "--compare", str(tmp_path / "nope.json")]
+        )
+        assert code == 2

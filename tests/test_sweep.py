@@ -7,7 +7,6 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.experiments import scenarios
 from repro.experiments.sweep import (
-    SweepJob,
     SweepRunner,
     derive_seed,
     expand_grid,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import ConfigError, SimulationError
-from repro.cluster.versions import Version
 from repro.monitor.collector import ClusterMonitor
 from repro.txn.api import TransactionalStore, TxnConfig
 from repro.txn.runner import TxnRunner
