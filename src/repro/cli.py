@@ -130,6 +130,8 @@ def _scenarios(args) -> None:
                         if spec.txn_workload is not None
                         else "plain"
                     ),
+                    "client_mode": spec.client_mode,
+                    "clients": spec.clients,
                 }
             )
         print(json.dumps(doc, indent=2, sort_keys=True))
@@ -137,7 +139,8 @@ def _scenarios(args) -> None:
     for name in scenarios.names():
         spec = scenarios.get(name)
         defaults = " ".join(f"{k}={v}" for k, v in sorted(spec.defaults.items()))
-        print(f"{name:22s} {spec.description}  [{defaults}]")
+        mode = "" if spec.client_mode == "per_client" else f" <{spec.client_mode}:{spec.clients}>"
+        print(f"{name:22s} {spec.description}  [{defaults}]{mode}")
 
 
 def _txn(args) -> None:
@@ -304,6 +307,7 @@ def _sweep(args) -> None:
         grid=grid,
         root_seed=args.seed,
         ops=args.ops,
+        client_mode=args.client_mode,
     )
     print(f"sweep: {len(plan)} runs over {args.jobs} worker(s)")
     result = SweepRunner(jobs=args.jobs).run(plan)
@@ -436,6 +440,14 @@ def build_parser() -> argparse.ArgumentParser:
             )
             p.add_argument(
                 "--jobs", type=int, default=1, help="worker process count"
+            )
+            p.add_argument(
+                "--client-mode",
+                choices=("per_client", "cohort"),
+                default=None,
+                dest="client_mode",
+                help="force every run's client model (default: each "
+                "scenario's declared mode; txn scenarios always per-client)",
             )
             p.add_argument(
                 "--out", default=None, metavar="DIR",

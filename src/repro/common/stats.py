@@ -29,6 +29,9 @@ __all__ = [
     "SlidingWindow",
     "RateEstimator",
     "ReservoirSample",
+    "ks_distance",
+    "relative_error",
+    "within_tolerance",
 ]
 
 
@@ -415,3 +418,70 @@ class ReservoirSample:
     def sample(self) -> List[float]:
         """Copy of the current reservoir contents."""
         return list(self._items)
+
+
+# -- equivalence / fidelity helpers -------------------------------------------
+#
+# The cohort-vs-per-client fidelity suite (tests/test_cohort_fidelity.py)
+# needs distribution- and scalar-level agreement measures with explicit,
+# documented semantics; these are them.
+
+
+def ks_distance(a: Iterable[float], b: Iterable[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic: sup |F_a(x) - F_b(x)|.
+
+    The maximum vertical distance between the two empirical CDFs, in
+    [0, 1]; 0 means the samples have identical empirical distributions.
+    Either sample being empty is a :class:`ConfigError` -- an empty side
+    would make any tolerance vacuously pass.
+
+    Examples
+    --------
+    >>> ks_distance([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+    0.0
+    >>> ks_distance([0.0, 0.0], [1.0, 1.0])
+    1.0
+    """
+    xs = np.sort(np.asarray(list(a), dtype=float))
+    ys = np.sort(np.asarray(list(b), dtype=float))
+    if xs.size == 0 or ys.size == 0:
+        raise ConfigError("ks_distance requires two non-empty samples")
+    grid = np.concatenate([xs, ys])
+    cdf_x = np.searchsorted(xs, grid, side="right") / xs.size
+    cdf_y = np.searchsorted(ys, grid, side="right") / ys.size
+    return float(np.abs(cdf_x - cdf_y).max())
+
+
+def relative_error(measured: float, reference: float, floor: float = 0.0) -> float:
+    """|measured - reference| / max(|reference|, floor).
+
+    ``floor`` guards near-zero references (a 0.1% vs 0.2% stale rate is a
+    2x relative error but a negligible absolute one; compare against
+    ``max(reference, floor)`` with the floor set at the scale below which
+    differences stop mattering).  A zero denominator with a zero numerator
+    is 0.0; with a non-zero numerator it is ``inf``.
+    """
+    denom = max(abs(float(reference)), float(floor))
+    diff = abs(float(measured) - float(reference))
+    if denom == 0.0:
+        return 0.0 if diff == 0.0 else math.inf
+    return diff / denom
+
+
+def within_tolerance(
+    measured: float, reference: float, rel: float, abs_floor: float = 0.0
+) -> bool:
+    """True when ``measured`` agrees with ``reference`` within ``rel``.
+
+    The tolerance contract of the fidelity suite: the relative error
+    (with ``abs_floor`` as the near-zero guard, see
+    :func:`relative_error`) must not exceed ``rel``.
+
+    Examples
+    --------
+    >>> within_tolerance(105.0, 100.0, rel=0.10)
+    True
+    >>> within_tolerance(0.002, 0.001, rel=0.25, abs_floor=0.01)
+    True
+    """
+    return relative_error(measured, reference, floor=abs_floor) <= float(rel)

@@ -80,6 +80,7 @@ def deploy_and_run_elastic(
     warmup_fraction: float = 0.2,
     target_throughput: Optional[float] = None,
     failure_script: Optional[Callable[[FailureInjector], Any]] = None,
+    client_mode: str = "per_client",
 ) -> ElasticRunOutcome:
     """One full experiment run on a deployment whose capacity changes.
 
@@ -117,6 +118,7 @@ def deploy_and_run_elastic(
         warmup_fraction=warmup_fraction,
         target_throughput=target_throughput,
         biller=biller,
+        client_mode=client_mode,
     )
     for t, rate in elastic.pacing_schedule:
         sim.schedule_at(t, _repace, runner, float(rate))
@@ -143,13 +145,21 @@ def deploy_and_run_elastic(
 
 
 def _repace(runner: WorkloadRunner, total_rate: float) -> None:
-    """Apply one pacing-schedule point: split the total rate over clients."""
+    """Apply one pacing-schedule point: split the total rate over clients.
+
+    The split is weighted by each unit's ``weight`` (1 for a closed-loop
+    client, the member count for a cohort), so per-client and cohort runs
+    see the same aggregate offered load at every schedule point.
+    """
     live = [c for c in runner.clients if c.remaining > 0]
     if not live:
         return
-    per_client = total_rate / len(live) if total_rate > 0 else None
+    total_weight = sum(c.weight for c in live)
     for client in live:
-        client.set_rate(per_client)
+        share = (
+            total_rate * client.weight / total_weight if total_rate > 0 else None
+        )
+        client.set_rate(share)
 
 
 def _elastic_block(

@@ -193,12 +193,15 @@ def deploy_and_run(
     warmup_fraction: float = 0.2,
     target_throughput: Optional[float] = None,
     failure_script: Optional[FailureScript] = None,
+    client_mode: str = "per_client",
 ) -> RunOutcome:
     """One full experiment run on a fresh deployment, with failure injection.
 
     The failure script (if any) is invoked with an injector bound to the new
     store *before* the workload starts, so crash/partition times are relative
-    to the beginning of the run.
+    to the beginning of the run.  ``client_mode="cohort"`` pools the client
+    population into one generator per datacenter (millions of clients, O(1)
+    objects); per-client mode is the default.
     """
     sim, store = platform.build(seed=seed)
     policy = policy_factory(store)
@@ -216,6 +219,7 @@ def deploy_and_run(
         warmup_fraction=warmup_fraction,
         target_throughput=target_throughput,
         biller=biller,
+        client_mode=client_mode,
     )
     report = runner.run()
     return RunOutcome(report=report, bill=biller.bill(), policy=policy, store=store)
@@ -231,6 +235,7 @@ def run_one(
     warmup_fraction: float = 0.2,
     target_throughput: Optional[float] = None,
     failure_script: Optional[FailureScript] = None,
+    client_mode: str = "per_client",
 ) -> Tuple[RunReport, Bill]:
     """One full experiment run on a fresh deployment.
 
@@ -247,5 +252,6 @@ def run_one(
         warmup_fraction=warmup_fraction,
         target_throughput=target_throughput,
         failure_script=failure_script,
+        client_mode=client_mode,
     )
     return outcome.report, outcome.bill

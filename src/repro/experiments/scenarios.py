@@ -121,6 +121,11 @@ class ScenarioSpec:
         ``params -> offered ops/sec`` cap, or ``None`` for max offered load.
     ops / clients:
         Run scale; ``None`` falls back to the platform defaults.
+    client_mode:
+        ``"per_client"`` (one object per simulated client) or ``"cohort"``
+        (the population pooled into one generator per datacenter, which is
+        how ``clients`` reaches 10^6).  Transactional scenarios always run
+        per-client; the knob applies to plain and elastic runs.
     """
 
     name: str
@@ -136,6 +141,7 @@ class ScenarioSpec:
     pacing: Optional[Callable[[Params], float]] = None
     ops: Optional[int] = None
     clients: Optional[int] = None
+    client_mode: str = "per_client"
     tags: Tuple[str, ...] = ()
 
     def resolve_params(self, overrides: Optional[Params] = None) -> Dict[str, Any]:
@@ -156,9 +162,20 @@ class ScenarioSpec:
         seed: int = 11,
         overrides: Optional[Params] = None,
         ops: Optional[int] = None,
+        client_mode: Optional[str] = None,
     ) -> "ScenarioRun":
-        """Execute one deployment of this scenario and collect its metrics."""
+        """Execute one deployment of this scenario and collect its metrics.
+
+        ``client_mode`` overrides the scenario's declared mode (the
+        ``repro sweep --client-mode`` path); transactional scenarios
+        ignore it.
+        """
         params = self.resolve_params(overrides)
+        mode = client_mode if client_mode is not None else self.client_mode
+        if mode not in ("per_client", "cohort"):
+            raise ConfigError(
+                f"client_mode must be 'per_client' or 'cohort', got {mode!r}"
+            )
         failure_script = None
         if self.failures is not None:
             fail = self.failures
@@ -177,6 +194,7 @@ class ScenarioSpec:
                 seed=seed,
                 target_throughput=self.pacing(params) if self.pacing else None,
                 failure_script=failure_script,
+                client_mode=mode,
             )
         elif self.txn_workload is not None:
             outcome = deploy_and_run_txn(
@@ -200,6 +218,7 @@ class ScenarioSpec:
                 seed=seed,
                 target_throughput=self.pacing(params) if self.pacing else None,
                 failure_script=failure_script,
+                client_mode=mode,
             )
         fractions_fn = getattr(outcome.policy, "level_time_fractions", None)
         level_fractions = fractions_fn() if callable(fractions_fn) else {}
@@ -239,8 +258,14 @@ class ScenarioRun:
             }
         if rep.elastic is not None:
             extra["elastic"] = {k: rep.elastic[k] for k in sorted(rep.elastic)}
+        if rep.cohorts is not None:
+            extra["cohorts"] = [
+                {k: c[k] for k in sorted(c)} for c in rep.cohorts
+            ]
         return {
             **extra,
+            "client_mode": rep.client_mode,
+            "clients": int(rep.n_clients),
             "policy": rep.policy,
             "workload": rep.workload,
             "ops_completed": int(rep.ops_completed),
@@ -629,6 +654,52 @@ register(
         ops=6000,
         clients=16,
         tags=("elastic", "churn"),
+    )
+)
+
+
+# -- cohort scenarios: millions of clients as pooled per-DC generators --------
+#
+# The cohort engine (repro.workload.cohort) makes the client count a free
+# parameter: these variants run the geo-replication and elastic-diurnal
+# recipes at 10^6 clients, which per-client mode cannot represent (10^6
+# client objects).  Load is paced -- a million real clients each issue a
+# trickle; the aggregate offered rate is what the deployment sees -- and
+# the fidelity suite (tests/test_cohort_fidelity.py) is the evidence that
+# cohort mode reproduces per-client metrics at equal scale.
+
+register(
+    ScenarioSpec(
+        name="harmony-geo-cohort",
+        description="Geo-replicated heavy read-update from a 10^6-client "
+        "cohort per DC, Harmony adapting",
+        platform=grid5000_harmony_platform,
+        policy=_harmony_policy,
+        workload=lambda p: heavy_read_update(record_count=800),
+        defaults={"tolerance": 0.2, "offered_load": 8000.0},
+        pacing=lambda p: float(p["offered_load"]),
+        ops=16000,
+        clients=1_000_000,
+        client_mode="cohort",
+        tags=("geo", "harmony", "cohort"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="elastic-diurnal-cohort",
+        description="Diurnal ramp driven by a 10^6-client cohort: the "
+        "autoscaler grows into the peak and shrinks after it",
+        platform=small_dc_platform,
+        policy=_harmony_policy,
+        workload=lambda p: read_mostly_latest(record_count=800),
+        elastic=_diurnal_elastic,
+        defaults={"tolerance": 0.4, "peak_load": 6000.0, "offered_load": 800.0},
+        pacing=lambda p: float(p["offered_load"]),
+        ops=6000,
+        clients=1_000_000,
+        client_mode="cohort",
+        tags=("elastic", "paced", "cohort"),
     )
 )
 

@@ -124,12 +124,19 @@ def parse_grid(specs: Iterable[str]) -> Dict[str, List[Any]]:
 
 @dataclass(frozen=True)
 class SweepJob:
-    """One planned run: a scenario at a parameter point with a derived seed."""
+    """One planned run: a scenario at a parameter point with a derived seed.
+
+    ``client_mode`` (when set) forces per-client or cohort execution for
+    every job; it deliberately does *not* enter the run identity, so a
+    forced-mode sweep reuses the seeds of the default sweep and the two
+    outputs are directly comparable run-for-run.
+    """
 
     scenario: str
     params: Dict[str, Any]
     seed: int
     ops: Optional[int] = None
+    client_mode: Optional[str] = None
 
     def key(self) -> str:
         """Canonical identity used for sorting and dedup."""
@@ -160,6 +167,7 @@ def plan_sweep(
     grid: Optional[Mapping[str, Sequence[Any]]] = None,
     root_seed: int = 11,
     ops: Optional[int] = None,
+    client_mode: Optional[str] = None,
 ) -> SweepPlan:
     """Cross scenarios with the grid into a deduplicated, ordered run plan.
 
@@ -181,6 +189,10 @@ def plan_sweep(
             f"grid axes {unknown} are not declared by any selected scenario; "
             f"declared parameters are {sorted(declared)}"
         )
+    if client_mode is not None and client_mode not in ("per_client", "cohort"):
+        raise ConfigError(
+            f"client_mode must be 'per_client' or 'cohort', got {client_mode!r}"
+        )
     jobs: Dict[str, SweepJob] = {}
     for name in selected:
         spec = scenarios.get(name)
@@ -191,6 +203,7 @@ def plan_sweep(
                 params=params,
                 seed=derive_seed(root_seed, name, params),
                 ops=ops,
+                client_mode=client_mode,
             )
             jobs.setdefault(job.key(), job)
     return SweepPlan(
@@ -201,7 +214,12 @@ def plan_sweep(
 def _run_job(job: SweepJob) -> Dict[str, Any]:
     """Worker entry point: execute one job and return its result row."""
     spec = scenarios.get(job.scenario)
-    run = spec.run(seed=job.seed, overrides=job.params, ops=job.ops)
+    run = spec.run(
+        seed=job.seed,
+        overrides=job.params,
+        ops=job.ops,
+        client_mode=job.client_mode,
+    )
     row: Dict[str, Any] = {
         "scenario": job.scenario,
         "params": dict(sorted(job.params.items())),

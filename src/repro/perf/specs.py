@@ -325,6 +325,38 @@ def _bench_txn_2pc(p: Params) -> int:
     return int(outcome.report.txn["txns"])
 
 
+def _bench_cohort_million(p: Params) -> int:
+    """Cohort-mode runner at the scale ceiling: 10^6 clients, one pooled
+    generator per DC, paced aggregate arrivals through the full data path."""
+    from repro.policy import StaticPolicy
+    from repro.workload.client import WorkloadRunner
+    from repro.workload.workloads import WORKLOADS
+
+    store = _small_store(int(p["seed"]))
+    spec = WORKLOADS["A"].scaled(int(p["records"]), name="bench-cohort")
+    report = WorkloadRunner(
+        store,
+        spec,
+        policy=StaticPolicy(1, 2, name="bench"),
+        n_clients=int(p["clients"]),
+        ops_total=int(p["ops"]),
+        seed=int(p["seed"]),
+        target_throughput=float(p["rate"]),
+        client_mode="cohort",
+    ).run()
+    return int(report.ops_completed)
+
+
+def _bench_cohort_geo_scenario(p: Params) -> int:
+    """End-to-end geo cohort scenario: Harmony adapting under 10^6 clients."""
+    from repro.experiments import scenarios
+
+    run = scenarios.get("harmony-geo-cohort").run(
+        seed=int(p["seed"]), ops=int(p["ops"])
+    )
+    return int(run.report.ops_completed)
+
+
 def _bench_elastic_rebalance(p: Params) -> int:
     """Membership churn under load: streaming rebalance + live traffic."""
     from repro.experiments import scenarios
@@ -440,6 +472,30 @@ register(
         quick={"txns": 400},
         events_unit="txns",
         tags=("txn",),
+    )
+)
+
+register(
+    BenchSpec(
+        name="cohort-million-clients",
+        description="Cohort engine at the 10^6-client scale ceiling (paced, 1 DC)",
+        fn=_bench_cohort_million,
+        defaults={"ops": 20_000, "clients": 1_000_000, "records": 800, "rate": 8_000.0},
+        quick={"ops": 4_000},
+        events_unit="ops",
+        tags=("workload", "cohort", "scale"),
+    )
+)
+
+register(
+    BenchSpec(
+        name="cohort-geo-scenario",
+        description="Geo cohort scenario end-to-end: Harmony + 10^6 clients",
+        fn=_bench_cohort_geo_scenario,
+        defaults={"ops": 12_000},
+        quick={"ops": 2_500},
+        events_unit="ops",
+        tags=("workload", "cohort", "experiments", "harmony"),
     )
 )
 

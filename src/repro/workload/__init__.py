@@ -11,9 +11,11 @@ package rebuilds the parts the evaluation needs:
 - :mod:`repro.workload.client` -- closed-loop and open-loop clients plus the
   :class:`~repro.workload.client.WorkloadRunner` that deploys clients
   against a store and collects throughput/latency/staleness;
-- :mod:`repro.workload.traces` -- operation trace recording, replay, and
-  synthetic multi-phase application traces for the behavior-modeling
-  pipeline.
+- :mod:`repro.workload.cohort` -- the cohort-mode engine: millions of
+  clients per (DC, mix) pooled into one vectorized generator;
+- :mod:`repro.workload.traces` -- operation trace recording, replay,
+  JSONL persistence, and synthetic multi-phase application traces for
+  the behavior-modeling pipeline.
 """
 
 from repro.workload.distributions import (
@@ -37,7 +39,14 @@ from repro.workload.workloads import (
     order_checkout_mix,
 )
 from repro.workload.client import ClosedLoopClient, OpenLoopSource, WorkloadRunner, RunReport
-from repro.workload.traces import TraceRecord, TraceRecorder, PhasedTraceGenerator
+from repro.workload.cohort import CohortPopulation
+from repro.workload.traces import (
+    TraceRecord,
+    TraceRecorder,
+    PhasedTraceGenerator,
+    save_trace,
+    load_trace,
+)
 
 __all__ = [
     "KeyChooser",
@@ -60,7 +69,10 @@ __all__ = [
     "OpenLoopSource",
     "WorkloadRunner",
     "RunReport",
+    "CohortPopulation",
     "TraceRecord",
     "TraceRecorder",
     "PhasedTraceGenerator",
+    "save_trace",
+    "load_trace",
 ]

@@ -93,6 +93,10 @@ class ClosedLoopClient:
         "_dc",
     )
 
+    #: Pacing weight relative to a single client (cohorts report their
+    #: member count here); the elastic re-pacer splits total rate by it.
+    weight = 1
+
     def __init__(
         self,
         store: ReplicatedStore,
@@ -309,6 +313,13 @@ class RunReport:
     #: elasticity metrics (scale events, ranges moved, bytes streamed) when
     #: the run was driven by the elastic harness; ``None`` otherwise.
     elastic: Optional[Dict[str, Any]] = None
+    #: how clients were modelled: ``per_client`` objects or pooled
+    #: ``cohort`` generators (one per datacenter).
+    client_mode: str = "per_client"
+    #: how many clients the run stood in for (cohort members included).
+    n_clients: int = 0
+    #: aggregate per-cohort accounting blocks (cohort mode only).
+    cohorts: Optional[List[Dict[str, Any]]] = None
 
     def level_mix(self) -> str:
         """Compact ``label:count`` summary of read levels used (for reports)."""
@@ -333,13 +344,19 @@ class WorkloadRunner:
         Consistency policy shared by all clients (adaptive policies see the
         whole cluster through the monitor they were built with).
     n_clients:
-        Closed-loop client count (spread round-robin over datacenters).
+        Client count.  In ``per_client`` mode every client is a
+        :class:`ClosedLoopClient` object (spread round-robin over
+        datacenters); in ``cohort`` mode the same population is pooled
+        into one :class:`~repro.workload.cohort.CohortPopulation` per
+        datacenter, which is what lets ``n_clients`` reach 10^6+.
     ops_total:
         Total operations across clients.
     target_throughput:
         Optional total offered rate cap (split evenly across clients).
     max_time:
         Simulated-seconds safety stop.
+    client_mode:
+        ``"per_client"`` (default) or ``"cohort"``.
     """
 
     def __init__(
@@ -355,11 +372,19 @@ class WorkloadRunner:
         preload: bool = True,
         warmup_fraction: float = 0.0,
         biller=None,
+        client_mode: str = "per_client",
     ):
         if n_clients < 1:
             raise ConfigError(f"n_clients must be >= 1, got {n_clients}")
-        if ops_total < n_clients:
+        if client_mode not in ("per_client", "cohort"):
+            raise ConfigError(
+                f"client_mode must be 'per_client' or 'cohort', got {client_mode!r}"
+            )
+        if client_mode == "per_client" and ops_total < n_clients:
             raise ConfigError("ops_total must be >= n_clients")
+        if ops_total < 1:
+            raise ConfigError(f"ops_total must be >= 1, got {ops_total}")
+        self.client_mode = client_mode
         self.store = store
         self.spec = spec
         self.policy = policy or StaticPolicy(1, 1, name="one")
@@ -379,12 +404,15 @@ class WorkloadRunner:
         self.biller = biller
         self._usage = _LevelUsage()
         self._finished_clients = 0
+        self._units = 0
         self._t_last_op = 0.0
         self._warmup_remaining = int(self.ops_total * self.warmup_fraction)
         self._t_measure_start = 0.0
-        #: the live clients of the current run (populated by :meth:`run`);
-        #: the elastic harness re-paces them mid-run for diurnal shapes.
-        self.clients: List[ClosedLoopClient] = []
+        #: the live client units of the current run (populated by
+        #: :meth:`run`): ClosedLoopClients in per-client mode, one
+        #: CohortPopulation per datacenter in cohort mode.  The elastic
+        #: harness re-paces them mid-run (weighted by ``.weight``).
+        self.clients: List[Any] = []
 
     def run(self) -> RunReport:
         """Execute the workload and return the report."""
@@ -398,36 +426,40 @@ class WorkloadRunner:
             store.add_listener(self)
 
         rngs = RngFactory(self.seed)
-        per_client = self.ops_total // self.n_clients
-        extra = self.ops_total - per_client * self.n_clients
-        rate = (
-            self.target_throughput / self.n_clients
-            if self.target_throughput
-            else None
-        )
         n_dcs = len(store.topology.datacenters)
         t_start = store.sim.now
         clients = self.clients
-        for i in range(self.n_clients):
-            ops = per_client + (1 if i < extra else 0)
-            client = ClosedLoopClient(
-                store,
-                spec,
-                self.policy,
-                ops=ops,
-                rng=rngs.stream(f"client.{i}"),
-                target_rate=rate,
-                dc=i % n_dcs,
-                on_finished=self._client_finished,
+        if self.client_mode == "cohort":
+            self._start_cohorts(rngs, n_dcs)
+        else:
+            per_client = self.ops_total // self.n_clients
+            extra = self.ops_total - per_client * self.n_clients
+            rate = (
+                self.target_throughput / self.n_clients
+                if self.target_throughput
+                else None
             )
-            clients.append(client)
-            client.start()
+            self._units = self.n_clients
+            for i in range(self.n_clients):
+                ops = per_client + (1 if i < extra else 0)
+                client = ClosedLoopClient(
+                    store,
+                    spec,
+                    self.policy,
+                    ops=ops,
+                    rng=rngs.stream(f"client.{i}"),
+                    target_rate=rate,
+                    dc=i % n_dcs,
+                    on_finished=self._client_finished,
+                )
+                clients.append(client)
+                client.start()
 
         store.sim.run(until=t_start + self.max_time)
         # Duration is measured from the end of warmup to the last client
         # completion, not to the safety horizon (background chatter may keep
         # the queue non-empty).
-        t_end = self._t_last_op if self._finished_clients == self.n_clients else store.sim.now
+        t_end = self._t_last_op if self._finished_clients == self._units else store.sim.now
         duration = max(t_end - max(t_start, self._t_measure_start), 1e-9)
 
         summary = store.summary()
@@ -449,7 +481,51 @@ class WorkloadRunner:
             read_levels=dict(self._usage.read_levels),
             write_levels=dict(self._usage.write_levels),
             mean_propagation=summary["mean_propagation"],
+            client_mode=self.client_mode,
+            n_clients=self.n_clients,
+            cohorts=(
+                [c.summary() for c in self.clients]
+                if self.client_mode == "cohort"
+                else None
+            ),
         )
+
+    def _start_cohorts(self, rngs: RngFactory, n_dcs: int) -> None:
+        """Deploy one pooled cohort per datacenter.
+
+        The ``n_clients`` population is split round-robin over datacenters
+        exactly as per-client mode spreads client objects; operations and
+        any offered-rate cap are split proportionally to cohort size
+        (largest-remainder rounding keeps the totals exact).
+        """
+        from repro.workload.cohort import CohortPopulation
+
+        n_units = min(n_dcs, self.n_clients)
+        base, extra = divmod(self.n_clients, n_units)
+        members = [base + (1 if i < extra else 0) for i in range(n_units)]
+        ops = [self.ops_total * m // self.n_clients for m in members]
+        for i in range(self.ops_total - sum(ops)):
+            ops[i % n_units] += 1
+        self._units = n_units
+        for i in range(n_units):
+            cohort = CohortPopulation(
+                self.store,
+                self.spec,
+                self.policy,
+                members=members[i],
+                ops=ops[i],
+                rng=rngs.stream(f"cohort.{i}"),
+                arrival_rng=rngs.stream(f"cohort.{i}.arrivals"),
+                target_rate=(
+                    self.target_throughput * members[i] / self.n_clients
+                    if self.target_throughput
+                    else None
+                ),
+                dc=i,
+                on_finished=self._client_finished,
+            )
+            self.clients.append(cohort)
+            cohort.start()
 
     def on_op_complete(self, result: OpResult) -> None:
         """Warmup bookkeeping: reset all measurement state at the boundary."""
@@ -464,10 +540,10 @@ class WorkloadRunner:
             if self.biller is not None:
                 self.biller.arm()
 
-    def _client_finished(self, client: ClosedLoopClient) -> None:
+    def _client_finished(self, client) -> None:
         self._finished_clients += 1
         self._t_last_op = self.store.sim.now
-        if self._finished_clients == self.n_clients:
+        if self._finished_clients == self._units:
             # All workload ops done: stop simulating background chatter
             # (monitor ticks, repair sweeps) so runs end promptly.
             self.store.sim.stop()

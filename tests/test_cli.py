@@ -89,6 +89,24 @@ class TestMain:
         assert by_name["txn-shootout"]["kind"] == "txn"
         assert by_name["elastic-flash-crowd"]["kind"] == "elastic"
 
+    def test_scenarios_json_carries_client_mode_and_scale(self, capsys):
+        import json
+
+        assert main(["scenarios", "--json"]) == 0
+        by_name = {e["name"]: e for e in json.loads(capsys.readouterr().out)}
+        assert by_name["harmony-geo-cohort"]["client_mode"] == "cohort"
+        assert by_name["harmony-geo-cohort"]["clients"] == 1_000_000
+        assert by_name["elastic-diurnal-cohort"]["client_mode"] == "cohort"
+        assert by_name["geo-replication"]["client_mode"] == "per_client"
+
+    def test_scenarios_text_marks_cohort_scale(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "<cohort:1000000>" in out
+        # per-client scenarios carry no mode marker
+        geo_line = next(l for l in out.splitlines() if l.startswith("geo-replication"))
+        assert "<" not in geo_line
+
     def test_elastic_small_run(self, capsys):
         assert main(["elastic", "--scenario", "elastic-rebalance-storm",
                      "--ops", "2000", "--seed", "3"]) == 0
@@ -121,3 +139,46 @@ class TestMain:
         assert "sweep: 2 runs" in out
         assert (out_dir / "results.json").exists()
         assert (out_dir / "results.csv").exists()
+
+    def test_sweep_client_mode_flag(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "results"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario", "single-dc-ycsb-a",
+                    "--client-mode", "cohort",
+                    "--jobs", "1",
+                    "--ops", "400",
+                    "--out", str(out_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = json.loads((out_dir / "results.json").read_text())
+        assert doc["runs"][0]["client_mode"] == "cohort"
+        assert doc["runs"][0]["cohorts"]
+
+    def test_sweep_rejects_unknown_client_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--client-mode", "pooled"])
+
+    def test_sweep_cohort_scenario_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario", "harmony-geo-cohort",
+                    "--jobs", "1",
+                    "--ops", "800",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep: 1 runs" in out
+        assert "harmony-geo-cohort" in out

@@ -285,3 +285,73 @@ class TestReservoirSample:
         # expected 30 hits each; loose tolerance to stay deterministic
         assert hits.mean() == pytest.approx(30.0, abs=0.001)
         assert hits.std() < 12.0
+
+
+class TestFidelityHelpers:
+    """ks_distance / relative_error / within_tolerance (the fidelity suite's
+    agreement measures)."""
+
+    def test_ks_identical_samples(self):
+        from repro.common.stats import ks_distance
+
+        assert ks_distance([1.0, 2.0, 3.0], [3.0, 1.0, 2.0]) == 0.0
+
+    def test_ks_disjoint_samples(self):
+        from repro.common.stats import ks_distance
+
+        assert ks_distance([0.0, 0.0], [1.0, 1.0]) == 1.0
+
+    def test_ks_known_value(self):
+        from repro.common.stats import ks_distance
+
+        # F_a jumps to 1 at 0; F_b is 0 until 1: sup gap is 0.5 at x=0.5
+        assert ks_distance([0.0, 1.0], [1.0, 2.0]) == pytest.approx(0.5)
+
+    def test_ks_empty_rejected(self):
+        from repro.common.stats import ks_distance
+
+        with pytest.raises(ConfigError):
+            ks_distance([], [1.0])
+        with pytest.raises(ConfigError):
+            ks_distance([1.0], [])
+
+    @settings(deadline=None)
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    def test_ks_bounded_and_symmetric(self, a, b):
+        from repro.common.stats import ks_distance
+
+        d = ks_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(ks_distance(b, a))
+
+    def test_relative_error_basic(self):
+        from repro.common.stats import relative_error
+
+        assert relative_error(110.0, 100.0) == pytest.approx(0.10)
+        assert relative_error(90.0, 100.0) == pytest.approx(0.10)
+
+    def test_relative_error_floor_guards_near_zero(self):
+        from repro.common.stats import relative_error
+
+        # without the floor a 0.001-vs-0.002 staleness gap is a 1x error;
+        # with the floor it is measured against the scale that matters.
+        assert relative_error(0.002, 0.001) == pytest.approx(1.0)
+        assert relative_error(0.002, 0.001, floor=0.1) == pytest.approx(0.01)
+
+    def test_relative_error_zero_reference(self):
+        import math
+
+        from repro.common.stats import relative_error
+
+        assert relative_error(0.0, 0.0) == 0.0
+        assert math.isinf(relative_error(1.0, 0.0))
+
+    def test_within_tolerance(self):
+        from repro.common.stats import within_tolerance
+
+        assert within_tolerance(105.0, 100.0, rel=0.10)
+        assert not within_tolerance(125.0, 100.0, rel=0.10)
+        assert within_tolerance(0.0, 0.03, rel=0.35, abs_floor=0.1)

@@ -165,3 +165,53 @@ class TestSweepDeterminism:
     def test_jobs_validated(self):
         with pytest.raises(ConfigError):
             SweepRunner(jobs=0)
+
+
+class TestCohortSweep:
+    PLAN_KW = dict(
+        scenario_names=["harmony-geo-cohort", "elastic-diurnal-cohort"],
+        root_seed=7,
+        ops=TINY_OPS,
+    )
+
+    def test_parallel_matches_serial_byte_identical(self):
+        plan = plan_sweep(**self.PLAN_KW)
+        serial = SweepRunner(jobs=1).run(plan)
+        parallel = SweepRunner(jobs=4).run(plan)
+        assert serial.to_json() == parallel.to_json()
+        assert serial.to_csv() == parallel.to_csv()
+
+    def test_rows_surface_mode_and_scale(self):
+        plan = plan_sweep(
+            scenario_names=["harmony-geo-cohort"], root_seed=7, ops=TINY_OPS
+        )
+        row = SweepRunner(jobs=1).run(plan).rows[0]
+        assert row["client_mode"] == "cohort"
+        assert row["clients"] == 1_000_000
+        assert row["cohorts"]
+        assert sum(c["members"] for c in row["cohorts"]) == 1_000_000
+
+    def test_forced_mode_reuses_default_seeds(self):
+        # client_mode is not part of the run identity: a forced-mode sweep
+        # must be comparable run-for-run with the default sweep.
+        default = plan_sweep(scenario_names=["geo-replication"], root_seed=7)
+        forced = plan_sweep(
+            scenario_names=["geo-replication"], root_seed=7, client_mode="cohort"
+        )
+        assert [j.seed for j in forced] == [j.seed for j in default]
+        assert all(j.client_mode == "cohort" for j in forced)
+        assert all(j.client_mode is None for j in default)
+
+    def test_forced_mode_changes_execution_not_identity(self):
+        plan = plan_sweep(
+            scenario_names=["single-dc-ycsb-a"],
+            root_seed=7,
+            ops=TINY_OPS,
+            client_mode="cohort",
+        )
+        row = SweepRunner(jobs=1).run(plan).rows[0]
+        assert row["client_mode"] == "cohort"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError, match="client_mode"):
+            plan_sweep(scenario_names=["geo-replication"], client_mode="pooled")

@@ -1,0 +1,125 @@
+"""Tests for trace persistence: JSONL round-trip, malformed-input rejection,
+and feeding a persisted trace through a cohort population."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.policy import StaticPolicy
+from repro.workload.cohort import CohortPopulation
+from repro.workload.traces import (
+    PhasedTraceGenerator,
+    TracePhase,
+    TraceRecord,
+    load_trace,
+    save_trace,
+)
+
+
+SAMPLE = [
+    TraceRecord(t=0.0, kind="write", key="user1"),
+    TraceRecord(t=0.25, kind="read", key="user1", latency=0.002, stale=False),
+    TraceRecord(t=1.5, kind="read", key="user2", stale=True, phase="rush"),
+]
+
+
+class TestRoundTrip:
+    def test_path_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert save_trace(SAMPLE, path) == 3
+        assert load_trace(path) == SAMPLE
+
+    def test_file_object_round_trip(self):
+        buf = io.StringIO()
+        save_trace(SAMPLE, buf)
+        assert load_trace(io.StringIO(buf.getvalue())) == SAMPLE
+
+    def test_optional_fields_preserved(self):
+        buf = io.StringIO()
+        save_trace(SAMPLE, buf)
+        back = load_trace(io.StringIO(buf.getvalue()))
+        assert back[0].stale is None and back[0].phase is None
+        assert back[1].latency == 0.002
+        assert back[2].phase == "rush"
+
+    def test_blank_lines_skipped(self):
+        buf = io.StringIO()
+        save_trace(SAMPLE, buf)
+        padded = "\n" + buf.getvalue().replace("\n", "\n\n")
+        assert load_trace(io.StringIO(padded)) == SAMPLE
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        assert save_trace([], path) == 0
+        assert load_trace(path) == []
+
+    def test_generated_trace_round_trips(self, tmp_path):
+        gen = PhasedTraceGenerator([
+            TracePhase("a", 5.0, rate=100.0, read_fraction=0.8),
+            TracePhase("b", 5.0, rate=50.0, read_fraction=0.2),
+        ])
+        trace = gen.generate(cycles=1, seed=3)
+        path = str(tmp_path / "phased.jsonl")
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+
+class TestMalformedInput:
+    def _load(self, text):
+        return load_trace(io.StringIO(text))
+
+    def test_invalid_json(self):
+        with pytest.raises(ConfigError, match="line 1.*invalid JSON"):
+            self._load("{not json\n")
+
+    def test_non_object_line(self):
+        with pytest.raises(ConfigError, match="line 2.*expected an object"):
+            self._load('{"t": 0, "kind": "read", "key": "a"}\n[1, 2]\n')
+
+    def test_missing_fields(self):
+        with pytest.raises(ConfigError, match="missing fields.*key"):
+            self._load('{"t": 0, "kind": "read"}\n')
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind must be one of"):
+            self._load('{"t": 0, "kind": "scan", "key": "a"}\n')
+
+    def test_non_numeric_time(self):
+        with pytest.raises(ConfigError, match="t is not a number"):
+            self._load('{"t": "soon", "kind": "read", "key": "a"}\n')
+
+    def test_negative_time(self):
+        with pytest.raises(ConfigError, match="t must be >= 0"):
+            self._load('{"t": -1, "kind": "read", "key": "a"}\n')
+
+    def test_nan_time(self):
+        with pytest.raises(ConfigError, match="t must be >= 0"):
+            self._load('{"t": NaN, "kind": "read", "key": "a"}\n')
+
+    def test_error_names_the_offending_line(self):
+        good = '{"t": 0, "kind": "read", "key": "a"}\n'
+        with pytest.raises(ConfigError, match="line 3"):
+            self._load(good + good + '{"t": 0}\n')
+
+
+class TestTraceThroughCohort:
+    def test_persisted_trace_drives_a_cohort(self, simple_store, tmp_path):
+        gen = PhasedTraceGenerator([
+            TracePhase("burst", 0.5, rate=200.0, read_fraction=0.6, key_count=20),
+        ])
+        path = str(tmp_path / "cohort.jsonl")
+        save_trace(gen.generate(cycles=1, seed=3), path)
+        trace = load_trace(path)
+        assert trace
+        cohort = CohortPopulation.from_trace(
+            simple_store, trace, StaticPolicy(1, 1), members=8
+        )
+        cohort.start()
+        simple_store.sim.run()
+        assert cohort.completed == len(trace)
+        reads = sum(1 for r in trace if r.kind == "read")
+        assert simple_store.reads_ok == reads
+        assert simple_store.writes_ok == len(trace) - reads
