@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli scenarios
     python -m repro.cli txn --mix bank-transfer --policy all
     python -m repro.cli sweep --grid tolerance=0.2,0.4 --jobs 4 --out results/
+    python -m repro.cli sweep --scenario node-failure-storm --obs --out results/
+    python -m repro.cli report results/obs [--csv] [--validate]
 
 Each experiment command builds the matching platform preset, runs the
 experiment harness, and prints the same table the paper's evaluation
@@ -298,9 +300,49 @@ def _bench(args) -> None:
         print("perf gate ok")
 
 
+def _report(args) -> None:
+    import os
+
+    from repro.obs.report import (
+        find_timelines,
+        load_timeline,
+        render_text,
+        samples_csv,
+        validate_timeline,
+    )
+
+    paths = find_timelines(args.path)
+    if not paths:
+        raise ConfigError(f"no timeline.jsonl found under {args.path}")
+    failed = False
+    for i, path in enumerate(paths):
+        records = load_timeline(path)
+        problems = validate_timeline(records)
+        if args.validate:
+            status = "ok" if not problems else "INVALID"
+            print(f"{path}: {status} ({len(records)} records)")
+            for problem in problems:
+                print(f"  - {problem}")
+            failed = failed or bool(problems)
+            continue
+        source = os.path.relpath(path, args.path) if path != args.path else path
+        if args.csv:
+            print(samples_csv(records), end="")
+        else:
+            if i:
+                print()
+            print(render_text(records, source=source))
+    if failed:
+        raise SystemExit(1)
+
+
 def _sweep(args) -> None:
+    import os
+
     from repro.experiments.sweep import SweepRunner, parse_grid, plan_sweep
 
+    if args.obs and not args.out:
+        raise ConfigError("--obs needs --out (the artifact directory root)")
     grid = parse_grid(args.grid or [])
     plan = plan_sweep(
         scenario_names=args.scenario or None,
@@ -308,6 +350,7 @@ def _sweep(args) -> None:
         root_seed=args.seed,
         ops=args.ops,
         client_mode=args.client_mode,
+        obs_dir=os.path.join(args.out, "obs") if args.obs else None,
     )
     print(f"sweep: {len(plan)} runs over {args.jobs} worker(s)")
     result = SweepRunner(jobs=args.jobs).run(plan)
@@ -330,6 +373,7 @@ COMMANDS: Dict[str, Callable] = {
     "elastic": _elastic,
     "sweep": _sweep,
     "bench": _bench,
+    "report": _report,
 }
 
 
@@ -348,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
         "elastic": "run an elastic scenario and print its membership timeline",
         "sweep": "run registered scenarios over a parameter grid in parallel",
         "bench": "run the performance benchmark suite (perf trajectory + gate)",
+        "report": "render a run's observability timeline (text, CSV, validate)",
     }
     for name in COMMANDS:
         p = sub.add_parser(name, help=helps.get(name, f"run experiment {name}"))
@@ -423,7 +468,31 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="list registered benchmarks and exit",
             )
+        if name == "report":
+            p.add_argument(
+                "path",
+                metavar="PATH",
+                help="a timeline.jsonl file, or a directory to search "
+                "(e.g. a sweep's --out)",
+            )
+            p.add_argument(
+                "--csv",
+                action="store_true",
+                help="emit the sample series as CSV instead of the "
+                "annotated text timeline",
+            )
+            p.add_argument(
+                "--validate",
+                action="store_true",
+                help="schema-check every timeline; non-zero exit on problems",
+            )
         if name == "sweep":
+            p.add_argument(
+                "--obs",
+                action="store_true",
+                help="record per-run observability artifacts "
+                "(timeline.jsonl + trace.json under OUT/obs; needs --out)",
+            )
             p.add_argument(
                 "--scenario",
                 action="append",

@@ -73,6 +73,7 @@ class OpResult:
         "ack_delays",
         "value_size",
         "version",
+        "dc",
     )
 
     def __init__(self, kind: str, key: str, t_start: float, level_label: str):
@@ -85,6 +86,10 @@ class OpResult:
         self.stale: Optional[bool] = None
         self.level_label = level_label
         self.replicas_contacted = 0
+        #: datacenter of the coordinating node (``-1`` for synthetic results
+        #: such as total-outage failures or hint replays) -- the observability
+        #: sampler keys per-DC latency series off this.
+        self.dc = -1
         #: per-replica acknowledgement delays observed by the coordinator
         #: (writes only) -- the monitor's observable proxy for propagation time.
         self.ack_delays: Optional[List[float]] = None
@@ -234,6 +239,7 @@ class Coordinator:
         replicas, extra, by_dc = st.replica_info(key)
         requirement = self._requirement(level, replicas, by_dc)
         result = OpResult("write", key, sim.now, requirement.label)
+        result.dc = self.dc
         result.value_size = value_size
         result.ack_delays = []
 
@@ -379,6 +385,7 @@ class Coordinator:
         replicas, _, by_dc = st.replica_info(key)
         requirement = self._requirement(level, replicas, by_dc)
         result = OpResult("read", key, sim.now, requirement.label)
+        result.dc = self.dc
 
         targets = self._select_read_targets(replicas, requirement)
         if targets is None:

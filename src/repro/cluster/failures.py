@@ -4,6 +4,13 @@ The injector schedules failure scripts on the simulator clock. It goes
 through the store so recovery triggers hint replay, and through the network
 so partitions drop messages -- exercising exactly the availability/staleness
 behaviour the integration tests assert on.
+
+Every executed failure is recorded as a structured
+:class:`~repro.obs.events.ObsEvent` in :attr:`FailureInjector.events` and
+published on the store's event bus, so the observability layer (and any
+other subscriber) sees crashes/partitions as typed records rather than
+parsing strings. The legacy ``log`` view -- a list of ``(time, message)``
+tuples -- is kept as a property rendering the same strings it always did.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.common.errors import ConfigError
+from repro.obs.events import ObsEvent
 
 __all__ = ["FailureInjector"]
 
@@ -20,7 +28,31 @@ class FailureInjector:
 
     def __init__(self, store) -> None:
         self.store = store
-        self.log: List[Tuple[float, str]] = []
+        #: structured record of every executed failure action, in order.
+        self.events: List[ObsEvent] = []
+
+    @property
+    def log(self) -> List[Tuple[float, str]]:
+        """Legacy ``(time, message)`` view of :attr:`events`."""
+        return [(e.t, self._render(e)) for e in self.events]
+
+    @staticmethod
+    def _render(event: ObsEvent) -> str:
+        kind, data = event.kind, event.data
+        if kind == "node-crash":
+            return f"crash node {data['node']}"
+        if kind == "node-recover":
+            return f"recover node {data['node']}"
+        if kind == "partition":
+            return f"partition dc{data['dc_a']}<->dc{data['dc_b']}"
+        if kind == "heal":
+            return f"heal dc{data['dc_a']}<->dc{data['dc_b']}"
+        return kind  # pragma: no cover - no other kinds are emitted here
+
+    def _record(self, kind: str, **data) -> None:
+        event = ObsEvent(self.store.sim.now, kind, data)
+        self.events.append(event)
+        self.store.events.emit(event)
 
     # -- node failures ---------------------------------------------------------
 
@@ -59,11 +91,13 @@ class FailureInjector:
         # Route through the store so node listeners (e.g. the transaction
         # subsystem wiping volatile 2PC state) observe the crash.
         self.store.on_node_crash(node_id)
-        self.log.append((self.store.sim.now, f"crash node {node_id}"))
+        self._record("node-crash", node=node_id, dc=self.store.topology.dc_of(node_id))
 
     def _do_recover(self, node_id: int) -> None:
         self.store.on_node_recover(node_id)
-        self.log.append((self.store.sim.now, f"recover node {node_id}"))
+        self._record(
+            "node-recover", node=node_id, dc=self.store.topology.dc_of(node_id)
+        )
 
     # -- partitions ---------------------------------------------------------------
 
@@ -81,8 +115,8 @@ class FailureInjector:
 
     def _do_partition(self, dc_a: int, dc_b: int) -> None:
         self.store.network.partition_dcs(dc_a, dc_b)
-        self.log.append((self.store.sim.now, f"partition dc{dc_a}<->dc{dc_b}"))
+        self._record("partition", dc_a=dc_a, dc_b=dc_b)
 
     def _do_heal(self, dc_a: int, dc_b: int) -> None:
         self.store.network.heal_partition(dc_a, dc_b)
-        self.log.append((self.store.sim.now, f"heal dc{dc_a}<->dc{dc_b}"))
+        self._record("heal", dc_a=dc_a, dc_b=dc_b)

@@ -50,6 +50,10 @@ class HintStore:
         bucket.append((key, version))
         self.stored += 1
 
+    def pending_total(self) -> int:
+        """Hints buffered across all down nodes (the observable backlog)."""
+        return sum(len(bucket) for bucket in self._hints.values())
+
     def pending_for(self, target_node: int) -> int:
         """Number of buffered hints awaiting ``target_node``."""
         return len(self._hints.get(target_node, ()))

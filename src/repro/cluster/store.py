@@ -44,6 +44,7 @@ from repro.cluster.staleness import StalenessOracle
 from repro.cluster.versions import Version
 from repro.net.topology import Topology
 from repro.net.transport import Network
+from repro.obs.events import EventBus
 from repro.simcore.simulator import Simulator
 
 __all__ = ["StoreConfig", "ReplicatedStore", "MembershipChange"]
@@ -190,6 +191,10 @@ class ReplicatedStore:
         self._written_set: set = set()
         self._listeners: List[Any] = []
         self._node_listeners: List[Any] = []
+        #: structured run-event bus (crashes, partitions, heals, ...).
+        #: Constructed once per store; with no subscribers ``emit`` is a
+        #: single branch, so un-observed runs pay nothing.
+        self.events = EventBus()
         # Pre-bound listener hooks: the operation-completion fan-out runs per
         # op, so the getattr probes happen once per add_listener, not per op.
         self._op_complete_hooks: List[Callable[[OpResult], Any]] = []

@@ -22,6 +22,7 @@ from repro.elastic.autoscale import AutoscalerConfig, CostAwareAutoscaler
 from repro.elastic.cluster import ElasticCluster
 from repro.elastic.rebalance import RebalanceConfig
 from repro.monitor.collector import ClusterMonitor
+from repro.obs.recorder import ObsConfig, RunObserver
 from repro.workload.client import RunReport, WorkloadRunner
 from repro.workload.workloads import WorkloadSpec, heavy_read_update
 
@@ -67,6 +68,7 @@ class ElasticRunOutcome:
     store: ReplicatedStore
     cluster: ElasticCluster
     autoscaler: Optional[CostAwareAutoscaler]
+    obs: Optional[RunObserver] = None
 
 
 def deploy_and_run_elastic(
@@ -81,6 +83,7 @@ def deploy_and_run_elastic(
     target_throughput: Optional[float] = None,
     failure_script: Optional[Callable[[FailureInjector], Any]] = None,
     client_mode: str = "per_client",
+    obs: Optional[ObsConfig] = None,
 ) -> ElasticRunOutcome:
     """One full experiment run on a deployment whose capacity changes.
 
@@ -108,6 +111,11 @@ def deploy_and_run_elastic(
     biller = Biller(store, platform.prices, workload.data_size_bytes())
     if failure_script is not None:
         failure_script(FailureInjector(store))
+    observer = (
+        RunObserver(store, obs, policy=policy, run_meta={"seed": seed})
+        if obs is not None
+        else None
+    )
     runner = WorkloadRunner(
         store,
         workload,
@@ -134,6 +142,8 @@ def deploy_and_run_elastic(
     while cluster.rebalancer.active and sim.now < deadline:
         sim.run(until=min(sim.now + 0.05, deadline))
     report.elastic = _elastic_block(cluster, autoscaler)
+    if observer is not None:
+        observer.finish()
     return ElasticRunOutcome(
         report=report,
         bill=bill,
@@ -141,6 +151,7 @@ def deploy_and_run_elastic(
         store=store,
         cluster=cluster,
         autoscaler=autoscaler,
+        obs=observer,
     )
 
 

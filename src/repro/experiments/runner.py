@@ -30,6 +30,7 @@ from repro.baselines.rwratio import ReadWriteRatioPolicy
 from repro.bismar.engine import BismarEngine
 from repro.harmony.engine import HarmonyEngine
 from repro.monitor.collector import ClusterMonitor
+from repro.obs.recorder import ObsConfig, RunObserver
 from repro.policy import ConsistencyPolicy, StaticPolicy
 from repro.stale.dcmodel import DeploymentInfo
 from repro.experiments.platforms import Platform
@@ -181,6 +182,7 @@ class RunOutcome:
     bill: Bill
     policy: ConsistencyPolicy
     store: ReplicatedStore
+    obs: Optional[RunObserver] = None
 
 
 def deploy_and_run(
@@ -194,6 +196,7 @@ def deploy_and_run(
     target_throughput: Optional[float] = None,
     failure_script: Optional[FailureScript] = None,
     client_mode: str = "per_client",
+    obs: Optional[ObsConfig] = None,
 ) -> RunOutcome:
     """One full experiment run on a fresh deployment, with failure injection.
 
@@ -201,7 +204,9 @@ def deploy_and_run(
     store *before* the workload starts, so crash/partition times are relative
     to the beginning of the run.  ``client_mode="cohort"`` pools the client
     population into one generator per datacenter (millions of clients, O(1)
-    objects); per-client mode is the default.
+    objects); per-client mode is the default. Passing an :class:`ObsConfig`
+    attaches a :class:`RunObserver` (timeline + optional trace) -- when
+    ``obs`` is ``None`` no observer object is ever constructed.
     """
     sim, store = platform.build(seed=seed)
     policy = policy_factory(store)
@@ -209,6 +214,11 @@ def deploy_and_run(
     biller = Biller(store, platform.prices, workload.data_size_bytes())
     if failure_script is not None:
         failure_script(FailureInjector(store))
+    observer = (
+        RunObserver(store, obs, policy=policy, run_meta={"seed": seed})
+        if obs is not None
+        else None
+    )
     runner = WorkloadRunner(
         store,
         workload,
@@ -222,7 +232,11 @@ def deploy_and_run(
         client_mode=client_mode,
     )
     report = runner.run()
-    return RunOutcome(report=report, bill=biller.bill(), policy=policy, store=store)
+    if observer is not None:
+        observer.finish()
+    return RunOutcome(
+        report=report, bill=biller.bill(), policy=policy, store=store, obs=observer
+    )
 
 
 def run_one(

@@ -52,6 +52,7 @@ from repro.experiments.runner import (
     harmony_factory,
     named_policy_factory,
 )
+from repro.obs.recorder import ObsConfig, RunObserver
 from repro.txn.api import TxnConfig
 from repro.txn.runner import deploy_and_run_txn
 from repro.workload.client import RunReport
@@ -163,12 +164,14 @@ class ScenarioSpec:
         overrides: Optional[Params] = None,
         ops: Optional[int] = None,
         client_mode: Optional[str] = None,
+        obs: Optional["ObsConfig"] = None,
     ) -> "ScenarioRun":
         """Execute one deployment of this scenario and collect its metrics.
 
         ``client_mode`` overrides the scenario's declared mode (the
         ``repro sweep --client-mode`` path); transactional scenarios
-        ignore it.
+        ignore it. ``obs`` attaches a run observer (timeline + trace);
+        observability never changes the run's results, only records them.
         """
         params = self.resolve_params(overrides)
         mode = client_mode if client_mode is not None else self.client_mode
@@ -195,6 +198,7 @@ class ScenarioSpec:
                 target_throughput=self.pacing(params) if self.pacing else None,
                 failure_script=failure_script,
                 client_mode=mode,
+                obs=obs,
             )
         elif self.txn_workload is not None:
             outcome = deploy_and_run_txn(
@@ -207,6 +211,7 @@ class ScenarioSpec:
                 target_throughput=self.pacing(params) if self.pacing else None,
                 failure_script=failure_script,
                 txn_config=self.txn_config(params) if self.txn_config else None,
+                obs=obs,
             )
         else:
             outcome = deploy_and_run(
@@ -219,6 +224,7 @@ class ScenarioSpec:
                 target_throughput=self.pacing(params) if self.pacing else None,
                 failure_script=failure_script,
                 client_mode=mode,
+                obs=obs,
             )
         fractions_fn = getattr(outcome.policy, "level_time_fractions", None)
         level_fractions = fractions_fn() if callable(fractions_fn) else {}
@@ -230,6 +236,7 @@ class ScenarioSpec:
             cost_total=outcome.bill.total,
             cost_per_kop=outcome.bill.cost_per_kop,
             level_fractions={str(k): float(v) for k, v in level_fractions.items()},
+            obs=outcome.obs,
         )
 
 
@@ -246,6 +253,9 @@ class ScenarioRun:
     #: Fraction of policy decisions spent at each read level -- the compact
     #: consistency-level timeline adaptive engines expose (empty for static).
     level_fractions: Dict[str, float]
+    #: Live run observer when the run was executed with an ObsConfig
+    #: (timeline records, tracer, metrics); ``None`` otherwise.
+    obs: Optional[RunObserver] = None
 
     def metrics(self) -> Dict[str, Any]:
         """The per-run result row (plain python scalars, JSON-safe)."""

@@ -31,6 +31,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.common.errors import ConfigError
 from repro.common.tables import Table
 from repro.experiments import scenarios
+from repro.obs.recorder import ObsConfig
 
 __all__ = [
     "SweepJob",
@@ -129,7 +130,10 @@ class SweepJob:
     ``client_mode`` (when set) forces per-client or cohort execution for
     every job; it deliberately does *not* enter the run identity, so a
     forced-mode sweep reuses the seeds of the default sweep and the two
-    outputs are directly comparable run-for-run.
+    outputs are directly comparable run-for-run. ``obs_dir`` (when set)
+    attaches a run observer and writes its timeline/trace artifacts under
+    that directory; like ``client_mode`` it stays outside the identity,
+    so an observed sweep reproduces the unobserved sweep's seeds exactly.
     """
 
     scenario: str
@@ -137,10 +141,27 @@ class SweepJob:
     seed: int
     ops: Optional[int] = None
     client_mode: Optional[str] = None
+    obs_dir: Optional[str] = None
 
     def key(self) -> str:
         """Canonical identity used for sorting and dedup."""
         return _run_identity(self.scenario, self.params)
+
+    def artifact_dir(self) -> Optional[str]:
+        """Deterministic per-run artifact directory under ``obs_dir``.
+
+        Named from the scenario plus a crc32 of the canonical identity, so
+        the layout depends only on *what* ran -- never on worker layout --
+        and two grid points of one scenario cannot collide.
+        """
+        if self.obs_dir is None:
+            return None
+        return os.path.join(self.obs_dir, self.artifact_name())
+
+    def artifact_name(self) -> str:
+        """The per-run directory's base name (scenario + identity digest)."""
+        digest = zlib.crc32(self.key().encode("utf-8")) & 0xFFFFFFFF
+        return f"{self.scenario}-{digest:08x}"
 
 
 @dataclass(frozen=True)
@@ -168,6 +189,7 @@ def plan_sweep(
     root_seed: int = 11,
     ops: Optional[int] = None,
     client_mode: Optional[str] = None,
+    obs_dir: Optional[str] = None,
 ) -> SweepPlan:
     """Cross scenarios with the grid into a deduplicated, ordered run plan.
 
@@ -204,6 +226,7 @@ def plan_sweep(
                 seed=derive_seed(root_seed, name, params),
                 ops=ops,
                 client_mode=client_mode,
+                obs_dir=obs_dir,
             )
             jobs.setdefault(job.key(), job)
     return SweepPlan(
@@ -219,6 +242,7 @@ def _run_job(job: SweepJob) -> Dict[str, Any]:
         overrides=job.params,
         ops=job.ops,
         client_mode=job.client_mode,
+        obs=ObsConfig() if job.obs_dir is not None else None,
     )
     row: Dict[str, Any] = {
         "scenario": job.scenario,
@@ -226,6 +250,18 @@ def _run_job(job: SweepJob) -> Dict[str, Any]:
         "seed": job.seed,
     }
     row.update(run.metrics())
+    if run.obs is not None:
+        # Stamp the run identity into the artifact headers, then write into
+        # the job's deterministic directory; the artifact bytes depend only
+        # on the simulation and the identity, never on worker scheduling.
+        run.obs.run_meta["scenario"] = job.scenario
+        run.obs.run_meta["params"] = " ".join(
+            f"{k}={v}" for k, v in sorted(job.params.items())
+        )
+        run.obs.write(job.artifact_dir())
+        # The base name, not the full path: results.json must not depend on
+        # where the caller pointed --out.
+        row["obs_dir"] = job.artifact_name()
     return row
 
 

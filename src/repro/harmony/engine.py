@@ -101,6 +101,11 @@ class HarmonyEngine:
         self._current = 1
         self._last_update = -float("inf")
         self.decisions: List[LevelDecision] = []
+        #: optional observer callback ``fn(engine, decision)`` fired after
+        #: every refresh -- the observability layer turns these into
+        #: "explain" records without ever calling ``read_level`` itself
+        #: (which would perturb the decision schedule).
+        self.on_decision = None
 
     # -- ConsistencyPolicy interface ------------------------------------------------
 
@@ -161,15 +166,16 @@ class HarmonyEngine:
                 break
         self._current = chosen
         snap_rates = self.monitor.snapshot(now)
-        self.decisions.append(
-            LevelDecision(
-                t=now,
-                read_level=chosen,
-                estimates=estimates,
-                write_rate=snap_rates.write_rate,
-                read_rate=snap_rates.read_rate,
-            )
+        decision = LevelDecision(
+            t=now,
+            read_level=chosen,
+            estimates=estimates,
+            write_rate=snap_rates.write_rate,
+            read_rate=snap_rates.read_rate,
         )
+        self.decisions.append(decision)
+        if self.on_decision is not None:
+            self.on_decision(self, decision)
 
     # -- diagnostics -----------------------------------------------------------------
 

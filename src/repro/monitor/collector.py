@@ -25,6 +25,7 @@ from repro.common.errors import ConfigError
 from repro.common.stats import Ewma, OnlineStats, RateEstimator
 from repro.cluster.coordinator import OpResult
 from repro.monitor.keyfreq import KeyFrequencyTracker
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ClusterMonitor", "MonitorSnapshot"]
 
@@ -102,19 +103,27 @@ class ClusterMonitor:
         self._latency_halflife = latency_halflife
         self._now = 0.0
         self.ops_seen = 0
+        # Transaction and elasticity signals live in a MetricsRegistry so
+        # the observability sampler can read the monitor's instruments
+        # directly instead of subscribing to the same hooks again (which
+        # would double-count every event). The legacy scalar names are
+        # kept as read-only properties below.
+        self.metrics = MetricsRegistry()
         # transactional signals (populated only when a TransactionalStore
         # drives the deployment; zero otherwise)
-        self.txn_commits = 0
-        self.txn_aborts = 0
-        self.txn_in_doubt = 0
+        self._txn_commits = self.metrics.counter("txn_commits")
+        self._txn_aborts = self.metrics.counter("txn_aborts")
+        self._txn_in_doubt = self.metrics.counter("txn_in_doubt")
         self.commit_latency = Ewma(halflife=latency_halflife)
         # elasticity signals (populated only when the elastic subsystem
-        # drives membership changes; zero otherwise)
-        self.scale_outs = 0
-        self.scale_ins = 0
-        self.ranges_moved = 0
-        self.keys_streamed = 0
-        self.bytes_streamed = 0
+        # drives membership changes; zero otherwise). The streaming pair
+        # are gauges: migration-complete events carry cumulative
+        # rebalancer snapshots, assigned rather than summed.
+        self._scale_outs = self.metrics.counter("scale_outs")
+        self._scale_ins = self.metrics.counter("scale_ins")
+        self._ranges_moved = self.metrics.counter("ranges_moved")
+        self._keys_streamed = self.metrics.gauge("keys_streamed")
+        self._bytes_streamed = self.metrics.gauge("bytes_streamed")
 
     # -- listener interface ------------------------------------------------------
 
@@ -146,15 +155,15 @@ class ClusterMonitor:
         """
         t = outcome.t_end
         self._now = max(self._now, t)
-        if outcome.reason == "resolved-in-doubt" and self.txn_in_doubt > 0:
-            self.txn_in_doubt -= 1
+        if outcome.reason == "resolved-in-doubt" and self._txn_in_doubt.value > 0:
+            self._txn_in_doubt.inc(-1)
         if outcome.status == "committed":
-            self.txn_commits += 1
+            self._txn_commits.inc()
             self.commit_latency.update(outcome.commit_latency, t=t)
         elif outcome.status == "aborted":
-            self.txn_aborts += 1
+            self._txn_aborts.inc()
         else:
-            self.txn_in_doubt += 1
+            self._txn_in_doubt.inc()
 
     def txn_abort_rate(self) -> float:
         """Observed abort fraction of decided transactions."""
@@ -170,14 +179,48 @@ class ClusterMonitor:
         """
         kind = event.get("kind")
         if kind == "scale-out":
-            self.scale_outs += 1
+            self._scale_outs.inc()
         elif kind == "scale-in":
-            self.scale_ins += 1
+            self._scale_ins.inc()
         elif kind == "migration-start":
-            self.ranges_moved += int(event.get("ranges", 0))
+            self._ranges_moved.inc(int(event.get("ranges", 0)))
         elif kind == "migration-complete":
-            self.keys_streamed = int(event.get("keys_streamed", 0))
-            self.bytes_streamed = int(event.get("bytes_streamed", 0))
+            self._keys_streamed.set(int(event.get("keys_streamed", 0)))
+            self._bytes_streamed.set(int(event.get("bytes_streamed", 0)))
+
+    # -- legacy scalar views of the registry-backed counters -------------------
+
+    @property
+    def txn_commits(self) -> int:
+        return self._txn_commits.value
+
+    @property
+    def txn_aborts(self) -> int:
+        return self._txn_aborts.value
+
+    @property
+    def txn_in_doubt(self) -> int:
+        return self._txn_in_doubt.value
+
+    @property
+    def scale_outs(self) -> int:
+        return self._scale_outs.value
+
+    @property
+    def scale_ins(self) -> int:
+        return self._scale_ins.value
+
+    @property
+    def ranges_moved(self) -> int:
+        return self._ranges_moved.value
+
+    @property
+    def keys_streamed(self) -> int:
+        return int(self._keys_streamed.value)
+
+    @property
+    def bytes_streamed(self) -> int:
+        return int(self._bytes_streamed.value)
 
     def on_write_propagated(self, result: OpResult) -> None:
         """Fold a fully-acknowledged write's ack-delay profile."""

@@ -108,9 +108,13 @@ class KeyFrequencyTracker:
         r = self.read_shares()
         w = self.write_shares()
         keys = set(r) | set(w)
+        # Sort on the full (read, write) pair: ordering only by read share
+        # leaves ties in set-iteration order, which depends on the string
+        # hash seed and perturbs the estimator's summation order across
+        # interpreter invocations.
         rows = sorted(
             ((r.get(k, 0.0), w.get(k, 0.0)) for k in keys),
-            key=lambda rw: -rw[0],
+            key=lambda rw: (-rw[0], -rw[1]),
         )
         if len(rows) <= max_keys:
             return [(rs, ws, 1) for rs, ws in rows]

@@ -1,0 +1,44 @@
+"""Run observability: metrics, structured events, traces and timelines.
+
+Harmony's loop is *observe -> estimate -> adapt*; this package makes every
+run inspectable the same way: a :class:`~repro.obs.metrics.MetricsRegistry`
+holds labelled counters/gauges/histograms, an
+:class:`~repro.obs.events.EventBus` carries structured run events
+(crashes, partitions, scale events, level switches), a
+:class:`~repro.obs.trace.Tracer` builds spans from the existing listener
+surfaces, and a :class:`~repro.obs.sampler.TimeSeriesSampler` snapshots
+the cluster state on the simulated clock. The
+:class:`~repro.obs.recorder.RunObserver` wires all of it to one deployment
+and writes two schema-versioned artifacts per run:
+
+- ``timeline.jsonl`` -- header + samples + events + policy "explain"
+  records (rendered by ``repro report``);
+- ``trace.json`` -- Chrome trace-event JSON, viewable in Perfetto.
+
+The whole package is **opt-in and zero-overhead when disabled**: no
+harness constructs any observer object unless an
+:class:`~repro.obs.recorder.ObsConfig` is passed, the hot-path hooks are
+``None``-guarded attribute probes, and the event bus short-circuits when
+nobody subscribed. The sampler and tracer only *read* simulation state --
+no RNG draws, no behavioural feedback -- so a run's results are
+byte-identical with observability on or off.
+"""
+
+from repro.obs.events import EventBus, ObsEvent
+from repro.obs.metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
+from repro.obs.recorder import ObsConfig, RunObserver
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "ObsConfig",
+    "ObsEvent",
+    "RunObserver",
+    "TimeSeriesSampler",
+    "Tracer",
+]

@@ -1,0 +1,179 @@
+"""The metrics registry: labelled counters, gauges and histograms.
+
+One :class:`MetricsRegistry` per owner (the cluster monitor, a run
+observer). Instruments are created once via the get-or-create accessors
+and then updated through plain attribute methods -- no string lookup on
+the hot path. ``snapshot()`` renders everything as a JSON-safe dict with
+deterministic (sorted) ordering, which is what keeps the timeline and
+sweep artifacts byte-identical across worker layouts.
+
+Counters accept negative increments: a few protocol signals are
+*net* counts (e.g. transactions currently in doubt, which a late verdict
+decrements), and modelling them as two counters everywhere they are read
+would push bookkeeping onto every consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.stats import Histogram
+
+__all__ = ["Counter", "Gauge", "HistogramMetric", "MetricsRegistry"]
+
+#: Canonical instrument key: name plus sorted label items.
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Optional[Dict[str, str]]) -> _Key:
+    if not name:
+        raise ConfigError("metric name must be non-empty")
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+class Counter:
+    """Monotonic-by-convention event count (negative deltas allowed)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}{dict(self.labels)}={self.value})"
+
+
+class Gauge:
+    """Last-assigned value (backlogs, node counts, streamed-bytes snapshots)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name}{dict(self.labels)}={self.value})"
+
+
+class HistogramMetric:
+    """Distribution instrument backed by the shared log-bucket histogram."""
+
+    __slots__ = ("name", "labels", "hist", "total")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        lo: float = 1e-5,
+        hi: float = 100.0,
+    ):
+        self.name = name
+        self.labels = labels
+        self.hist = Histogram(lo=lo, hi=hi)
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.hist.add(max(value, self.hist.lo))
+
+    @property
+    def count(self) -> int:
+        return self.hist.n
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.hist.n if self.hist.n else 0.0
+
+    def percentile(self, p: float) -> float:
+        return self.hist.percentile(p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HistogramMetric({self.name}{dict(self.labels)}, "
+            f"n={self.count}, mean={self.mean:.6g})"
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create home for a family of instruments.
+
+    The same ``(name, labels)`` pair always returns the same instrument,
+    so independent subsystems can share counts without double-registering
+    -- the property the monitor/observer wiring relies on to never count
+    one hook twice.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[_Key, object] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> HistogramMetric:
+        return self._get(HistogramMetric, name, labels)
+
+    def _get(self, cls, name: str, labels: Dict[str, str]):
+        key = _key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise ConfigError(
+                f"metric {name!r}{dict(key[1])} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def instruments(self) -> List[object]:
+        """All instruments in canonical (sorted-key) order."""
+        return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dump: ``name{label=value,...}`` -> scalar or summary.
+
+        Ordering is canonical, so two registries fed the same updates
+        serialize to identical bytes regardless of insertion order.
+        """
+        out: Dict[str, object] = {}
+        for key in sorted(self._instruments):
+            name, labels = key
+            rendered = name
+            if labels:
+                rendered += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+            instrument = self._instruments[key]
+            if isinstance(instrument, Counter):
+                out[rendered] = int(instrument.value)
+            elif isinstance(instrument, Gauge):
+                out[rendered] = float(instrument.value)
+            else:
+                hist: HistogramMetric = instrument  # type: ignore[assignment]
+                out[rendered] = {
+                    "count": int(hist.count),
+                    "mean": float(hist.mean),
+                    "p50": float(hist.percentile(50)),
+                    "p99": float(hist.percentile(99)),
+                }
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

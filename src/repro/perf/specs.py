@@ -357,6 +357,26 @@ def _bench_cohort_geo_scenario(p: Params) -> int:
     return int(run.report.ops_completed)
 
 
+def _bench_obs_overhead(p: Params) -> int:
+    """The harness run with full observability on: sampler ticks, every-op
+    listener accounting, trace span construction. In-memory only (no artifact
+    writes), so the number isolates the recording overhead itself."""
+    from repro.experiments.platforms import ec2_harmony_platform
+    from repro.experiments.runner import deploy_and_run, harmony_factory
+    from repro.obs.recorder import ObsConfig
+
+    outcome = deploy_and_run(
+        ec2_harmony_platform(),
+        harmony_factory(0.4),
+        ops=int(p["ops"]),
+        seed=int(p["seed"]),
+        obs=ObsConfig(
+            sample_interval=0.05, trace=True, trace_sample_every=4
+        ),
+    )
+    return int(outcome.report.ops_completed)
+
+
 def _bench_elastic_rebalance(p: Params) -> int:
     """Membership churn under load: streaming rebalance + live traffic."""
     from repro.experiments import scenarios
@@ -496,6 +516,18 @@ register(
         quick={"ops": 2_500},
         events_unit="ops",
         tags=("workload", "cohort", "experiments", "harmony"),
+    )
+)
+
+register(
+    BenchSpec(
+        name="obs-overhead",
+        description="Geo harness run with tracing + dense sampling attached",
+        fn=_bench_obs_overhead,
+        defaults={"ops": 12_000},
+        quick={"ops": 2_500},
+        events_unit="ops",
+        tags=("obs", "workload", "harmony"),
     )
 )
 

@@ -251,6 +251,9 @@ class TransactionalStore:
             TransactionManager(self, i, self.wals[i]) for i in range(n)
         ]
         store.add_node_listener(self)
+        #: observability sink for 2PC phase transitions; ``None`` (the
+        #: default) keeps every TM hook a single attribute-load + branch.
+        self.obs = None
 
         self._txn_seq = 0
         self._inflight: Dict[int, Transaction] = {}

@@ -27,6 +27,7 @@ from repro.cluster.coordinator import OpResult
 from repro.cluster.failures import FailureInjector
 from repro.cluster.store import ReplicatedStore
 from repro.cost.billing import Bill, Biller
+from repro.obs.recorder import ObsConfig, RunObserver
 from repro.txn.api import TransactionalStore, TxnConfig, TxnOutcome
 from repro.workload.client import LevelUsage, RunReport
 from repro.workload.workloads import TxnWorkloadSpec
@@ -252,6 +253,7 @@ class TxnRunOutcome:
     policy: Any
     store: ReplicatedStore
     tstore: TransactionalStore
+    obs: Optional[RunObserver] = None
 
 
 def deploy_and_run_txn(
@@ -265,6 +267,7 @@ def deploy_and_run_txn(
     target_throughput: Optional[float] = None,
     failure_script: Optional[Callable[[FailureInjector], Any]] = None,
     txn_config: Optional[TxnConfig] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> TxnRunOutcome:
     """One full transactional experiment run on a fresh deployment.
 
@@ -272,7 +275,8 @@ def deploy_and_run_txn(
     build the platform, attach the policy, wrap the store in a
     :class:`TransactionalStore`, optionally schedule a failure script,
     run the transactional workload with warmup, and bill the measurement
-    phase.
+    phase. An :class:`ObsConfig` additionally attaches a
+    :class:`RunObserver` wired into the 2PC phase hooks.
     """
     sim, store = platform.build(seed=seed)
     policy = policy_factory(store)
@@ -280,6 +284,10 @@ def deploy_and_run_txn(
     biller = Biller(store, platform.prices, spec.data_size_bytes())
     if failure_script is not None:
         failure_script(FailureInjector(store))
+    observer = None
+    if obs is not None:
+        observer = RunObserver(store, obs, policy=policy, run_meta={"seed": seed})
+        tstore.obs = observer
     runner = TxnRunner(
         tstore,
         spec,
@@ -291,6 +299,13 @@ def deploy_and_run_txn(
         biller=biller,
     )
     report = runner.run()
+    if observer is not None:
+        observer.finish()
     return TxnRunOutcome(
-        report=report, bill=biller.bill(), policy=policy, store=store, tstore=tstore
+        report=report,
+        bill=biller.bill(),
+        policy=policy,
+        store=store,
+        tstore=tstore,
+        obs=observer,
     )

@@ -124,6 +124,15 @@ class TransactionManager:
         t.writes_by_key = writes_by_key
         t.t_start = now
         self._active[txn.txn_id] = t
+        obs = self.owner.obs
+        if obs is not None:
+            obs.on_txn_phase(
+                txn.txn_id,
+                "prepare",
+                now,
+                node=self.node_id,
+                participants=len(participants),
+            )
 
         validate = self.owner.config.validate_reads
         for r in participants:
@@ -191,6 +200,16 @@ class TransactionManager:
                 oracle.note_write_acked(key, version)
         else:
             self.aborts_decided += 1
+        obs = self.owner.obs
+        if obs is not None:
+            obs.on_txn_phase(
+                t.txn_id,
+                "decide",
+                sim.now,
+                node=self.node_id,
+                outcome=t.decision,
+                reason=reason,
+            )
         self.owner.txn_decided(t.txn_id, commit, reason)
         self._send_decisions(t)
         t.retry_event = sim.schedule(
@@ -238,8 +257,12 @@ class TransactionManager:
         if len(t.acks) == len(t.participants):
             if t.retry_event is not None:
                 t.retry_event.cancel()
-            self.wal.append(REC_TM_END, txn_id, self._sim().now)
+            now = self._sim().now
+            self.wal.append(REC_TM_END, txn_id, now)
             del self._active[txn_id]
+            obs = self.owner.obs
+            if obs is not None:
+                obs.on_txn_phase(txn_id, "end", now, node=self.node_id)
 
     # -- in-doubt resolution ------------------------------------------------------
 
@@ -294,6 +317,11 @@ class TransactionManager:
             else:
                 t.decision = decision
             self.recovery_resolved += 1
+            obs = self.owner.obs
+            if obs is not None:
+                obs.on_txn_phase(
+                    txn_id, "recover", sim.now, node=self.node_id, outcome=t.decision
+                )
             self._active[txn_id] = t
             self._send_decisions(t)
             t.retry_event = sim.schedule(

@@ -13,7 +13,10 @@ class TestParser:
     def test_all_commands_parse(self):
         parser = build_parser()
         for name in COMMANDS:
-            args = parser.parse_args([name, "--ops", "100", "--seed", "3"])
+            argv = [name, "--ops", "100", "--seed", "3"]
+            if name == "report":
+                argv.insert(1, "some/path")  # report takes a positional PATH
+            args = parser.parse_args(argv)
             assert args.command == name
             assert args.ops == 100
             assert args.seed == 3
