@@ -12,7 +12,8 @@ Usage::
     python -m repro.cli txn --mix bank-transfer --policy all
     python -m repro.cli sweep --grid tolerance=0.2,0.4 --jobs 4 --out results/
     python -m repro.cli sweep --scenario node-failure-storm --obs --out results/
-    python -m repro.cli report results/obs [--csv] [--validate]
+    python -m repro.cli report results/obs [--csv] [--validate] [--slo]
+    python -m repro.cli diff results_a/obs results_b/obs [--json]
 
 Each experiment command builds the matching platform preset, runs the
 experiment harness, and prints the same table the paper's evaluation
@@ -134,6 +135,7 @@ def _scenarios(args) -> None:
                     ),
                     "client_mode": spec.client_mode,
                     "clients": spec.clients,
+                    "slo": spec.slo.to_dict() if spec.slo is not None else None,
                 }
             )
         print(json.dumps(doc, indent=2, sort_keys=True))
@@ -314,6 +316,9 @@ def _report(args) -> None:
     paths = find_timelines(args.path)
     if not paths:
         raise ConfigError(f"no timeline.jsonl found under {args.path}")
+    if args.slo:
+        _report_slo(args, paths)
+        return
     failed = False
     for i, path in enumerate(paths):
         records = load_timeline(path)
@@ -334,6 +339,73 @@ def _report(args) -> None:
             print(render_text(records, source=source))
     if failed:
         raise SystemExit(1)
+
+
+def _report_slo(args, paths) -> None:
+    """Grade each timeline against its SLO; exit 1 on any breach.
+
+    The spec comes from the artifact itself (``meta_slo`` in the header,
+    stamped by the scenario harness) or, failing that, from the scenario
+    registry via ``meta_scenario``. Exit codes: 0 = every graded timeline
+    passed, 1 = at least one breach, 2 = no timeline carries or maps to
+    an SLO (or other bad input).
+    """
+    import os
+
+    from repro.obs.report import load_timeline
+    from repro.obs.slo import SLOSpec, evaluate_slo
+
+    graded = 0
+    breached = False
+    for i, path in enumerate(paths):
+        records = load_timeline(path)
+        head = records[0] if records and records[0].get("type") == "header" else {}
+        spec = None
+        if isinstance(head.get("meta_slo"), dict):
+            spec = SLOSpec.from_dict(head["meta_slo"])
+        else:
+            scenario = head.get("meta_scenario")
+            if scenario:
+                from repro.experiments import scenarios
+
+                try:
+                    spec = scenarios.get(str(scenario)).slo
+                except ConfigError:
+                    spec = None
+        source = os.path.relpath(path, args.path) if path != args.path else path
+        if i:
+            print()
+        if spec is None:
+            print(f"{source}: no SLO (none in header, none in registry)")
+            continue
+        report = evaluate_slo(records, spec)
+        print(report.render(source))
+        graded += 1
+        breached = breached or not report.ok
+    if not graded:
+        raise ConfigError(
+            f"no timeline under {args.path} carries or maps to an SLO spec"
+        )
+    if breached:
+        raise SystemExit(1)
+
+
+def _diff(args) -> None:
+    from repro.obs.diff import diff_paths, render_diff
+
+    result = diff_paths(args.run_a, args.run_b)
+    if args.json:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return
+    for i, pair in enumerate(result["pairs"]):
+        if i:
+            print()
+        print(render_diff(pair["diff"], label=pair["label"]))
+    for side, runs in (("A", result["only_a"]), ("B", result["only_b"])):
+        if runs:
+            print(f"\nonly in {side}: {', '.join(runs)}")
 
 
 def _sweep(args) -> None:
@@ -374,6 +446,7 @@ COMMANDS: Dict[str, Callable] = {
     "sweep": _sweep,
     "bench": _bench,
     "report": _report,
+    "diff": _diff,
 }
 
 
@@ -392,7 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
         "elastic": "run an elastic scenario and print its membership timeline",
         "sweep": "run registered scenarios over a parameter grid in parallel",
         "bench": "run the performance benchmark suite (perf trajectory + gate)",
-        "report": "render a run's observability timeline (text, CSV, validate)",
+        "report": "render a run's observability timeline (text, CSV, "
+        "validate, SLO verdicts)",
+        "diff": "diff two runs' timelines: metric deltas and anomaly changes",
     }
     for name in COMMANDS:
         p = sub.add_parser(name, help=helps.get(name, f"run experiment {name}"))
@@ -486,6 +561,29 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="schema-check every timeline; non-zero exit on problems",
             )
+            p.add_argument(
+                "--slo",
+                action="store_true",
+                help="grade each timeline against its SLO spec (header "
+                "meta_slo, else the scenario registry); exit 0 = pass, "
+                "1 = breach, 2 = no SLO resolvable",
+            )
+        if name == "diff":
+            p.add_argument(
+                "run_a",
+                metavar="RUN_A",
+                help="baseline: a timeline.jsonl or a directory of runs",
+            )
+            p.add_argument(
+                "run_b",
+                metavar="RUN_B",
+                help="candidate: a timeline.jsonl or a directory of runs",
+            )
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="emit the structured diff as JSON instead of tables",
+            )
         if name == "sweep":
             p.add_argument(
                 "--obs",
@@ -539,6 +637,10 @@ def main(argv=None) -> int:
         # deserve the message, not the traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # `repro report ... | head` closing the pipe is not an error.
+        sys.stderr.close()
+        return 0
     return 0
 
 

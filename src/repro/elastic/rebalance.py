@@ -117,6 +117,20 @@ class StreamingRebalancer:
         """Number of keys still awaiting hand-off."""
         return len(self._pending)
 
+    def progress_signature(self) -> Tuple[int, int, int, int]:
+        """Counters that advance whenever streaming makes any progress.
+
+        Read by the rebalance-stall oracle: an active migration whose
+        signature does not change for a budget of simulated seconds is a
+        stall (nothing streamed, nothing retried, nothing settled).
+        """
+        return (
+            self.keys_streamed,
+            self.bytes_streamed,
+            self.restreams,
+            self.migrations_completed,
+        )
+
     def begin(self, change: MembershipChange) -> None:
         """Accept one membership change's ownership diff and start streaming."""
         st = self.store

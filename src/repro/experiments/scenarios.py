@@ -53,6 +53,7 @@ from repro.experiments.runner import (
     named_policy_factory,
 )
 from repro.obs.recorder import ObsConfig, RunObserver
+from repro.obs.slo import SLOSpec
 from repro.txn.api import TxnConfig
 from repro.txn.runner import deploy_and_run_txn
 from repro.workload.client import RunReport
@@ -127,6 +128,11 @@ class ScenarioSpec:
         (the population pooled into one generator per datacenter, which is
         how ``clients`` reaches 10^6).  Transactional scenarios always run
         per-client; the knob applies to plain and elastic runs.
+    slo:
+        Declarative service-level objectives for this scenario
+        (:class:`~repro.obs.slo.SLOSpec`). Stamped into every observed
+        run's timeline header (``meta_slo``) so ``repro report --slo``
+        can grade artifacts without the registry; ``None`` = no SLO.
     """
 
     name: str
@@ -143,6 +149,7 @@ class ScenarioSpec:
     ops: Optional[int] = None
     clients: Optional[int] = None
     client_mode: str = "per_client"
+    slo: Optional[SLOSpec] = None
     tags: Tuple[str, ...] = ()
 
     def resolve_params(self, overrides: Optional[Params] = None) -> Dict[str, Any]:
@@ -226,6 +233,17 @@ class ScenarioSpec:
                 client_mode=mode,
                 obs=obs,
             )
+        if outcome.obs is not None:
+            # Stamp scenario identity, cost and the SLO into the timeline
+            # header so artifacts are self-contained for `report --slo`.
+            outcome.obs.run_meta["scenario"] = self.name
+            outcome.obs.run_meta["cost_total_usd"] = float(outcome.bill.total)
+            if self.slo is not None:
+                outcome.obs.run_meta["slo"] = self.slo.to_dict()
+            if outcome.obs.config.out_dir is not None:
+                # the observer already wrote at finish(); rewrite with the
+                # enriched header (deterministic, same records)
+                outcome.obs.write(outcome.obs.config.out_dir)
         fractions_fn = getattr(outcome.policy, "level_time_fractions", None)
         level_fractions = fractions_fn() if callable(fractions_fn) else {}
         return ScenarioRun(
@@ -335,6 +353,16 @@ def _shootout_policy(params: Params) -> PolicyFactory:
     )
 
 
+def _partition_script(injector: FailureInjector, params: Params) -> None:
+    """Cut the WAN between the two paper DCs mid-run, then heal."""
+    injector.partition(
+        0,
+        1,
+        at=float(params["partition_start"]),
+        duration=float(params["partition_duration"]),
+    )
+
+
 def _storm_script(injector: FailureInjector, params: Params) -> None:
     n_nodes = len(injector.store.nodes)
     count = min(int(params["crash_count"]), n_nodes - 1)
@@ -359,6 +387,14 @@ register(
         defaults={"tolerance": 0.3},
         ops=4000,
         clients=16,
+        # Generous objectives a healthy LAN control run always meets --
+        # the CI obs-smoke job's known-clean `report --slo` gate.
+        slo=SLOSpec(
+            stale_rate_max=0.9,
+            read_p99_ms_max=250.0,
+            anomalies_max=20,
+            error_budget=0.25,
+        ),
         tags=("ycsb", "single-dc"),
     )
 )
@@ -425,6 +461,35 @@ register(
         ops=4000,
         clients=16,
         tags=("failures",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="geo-partition-chaos",
+        description="WAN partition splits the two EC2 AZs mid-run: quorum "
+        "loss and staleness burst until the heal",
+        platform=ec2_harmony_platform,
+        policy=_harmony_policy,
+        workload=lambda p: heavy_read_update(record_count=800),
+        failures=_partition_script,
+        # Paced load stretches the run horizon to ~ops/offered_load
+        # simulated seconds, so the partition window (and its heal) lands
+        # inside the run at the default scale.
+        defaults={
+            "tolerance": 0.2,
+            "offered_load": 4000.0,
+            "partition_start": 0.3,
+            "partition_duration": 0.4,
+        },
+        pacing=lambda p: float(p["offered_load"]),
+        ops=4000,
+        clients=16,
+        # The 10+10-node split leaves no majority component for the whole
+        # partition window, so the quorum-loss oracle must fire: gating on
+        # oracle silence makes this the CI known-breaching scenario.
+        slo=SLOSpec(anomalies_max=0, stale_rate_max=0.05, error_budget=0.05),
+        tags=("chaos", "failures", "partition"),
     )
 )
 

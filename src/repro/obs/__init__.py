@@ -12,8 +12,17 @@ the cluster state on the simulated clock. The
 and writes two schema-versioned artifacts per run:
 
 - ``timeline.jsonl`` -- header + samples + events + policy "explain"
-  records (rendered by ``repro report``);
+  records + streaming-oracle ``anomaly`` records (rendered by
+  ``repro report``);
 - ``trace.json`` -- Chrome trace-event JSON, viewable in Perfetto.
+
+On top of the passive recording sit the *active* pieces: streaming
+:class:`~repro.obs.oracles.AnomalyOracles` judge invariants online
+(stale bursts, 2PC in-doubt dwell, rebalance stalls, quorum loss,
+monotonic reads), :mod:`repro.obs.slo` grades timelines against
+declarative :class:`~repro.obs.slo.SLOSpec` objectives with error-budget
+burn, and :mod:`repro.obs.diff` aligns two runs on sim-time for
+metric/anomaly deltas (``repro diff``).
 
 The whole package is **opt-in and zero-overhead when disabled**: no
 harness constructs any observer object unless an
@@ -26,11 +35,14 @@ byte-identical with observability on or off.
 
 from repro.obs.events import EventBus, ObsEvent
 from repro.obs.metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
+from repro.obs.oracles import AnomalyOracles, OracleConfig
 from repro.obs.recorder import ObsConfig, RunObserver
 from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.slo import SLOSpec
 from repro.obs.trace import Tracer
 
 __all__ = [
+    "AnomalyOracles",
     "Counter",
     "EventBus",
     "Gauge",
@@ -38,7 +50,9 @@ __all__ = [
     "MetricsRegistry",
     "ObsConfig",
     "ObsEvent",
+    "OracleConfig",
     "RunObserver",
+    "SLOSpec",
     "TimeSeriesSampler",
     "Tracer",
 ]

@@ -12,7 +12,11 @@ chronological timeline:
   events, migrations) plus level switches;
 - **explains** -- Harmony decision records (observed rates, per-level
   staleness estimates, tolerance, chosen level): the *why* behind every
-  level switch.
+  level switch;
+- **anomalies** -- streaming oracle verdicts (stale bursts, in-doubt
+  dwell, rebalance stalls, quorum loss, monotonic-read violations) from
+  :class:`~repro.obs.oracles.AnomalyOracles`, edge-triggered and
+  interleaved at their exact simulated time.
 
 With ``trace`` enabled it also builds spans: coordinator fan-outs with
 per-rank ack children (every ``trace_sample_every``-th operation,
@@ -36,19 +40,23 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.obs.events import ObsEvent
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.oracles import AnomalyOracles, OracleConfig
 from repro.obs.sampler import TimeSeriesSampler
 from repro.obs.trace import Tracer
 
 __all__ = ["ObsConfig", "RunObserver", "TIMELINE_SCHEMA"]
 
 #: Timeline artifact schema tag, bumped on breaking record-layout changes.
-TIMELINE_SCHEMA = "repro.obs/1"
+#: ``/2`` adds ``anomaly`` records (streaming oracle verdicts), per-sample
+#: ground-truth read windows, and header truncation/anomaly counters; the
+#: report loader still accepts ``/1`` artifacts.
+TIMELINE_SCHEMA = "repro.obs/2"
 
 
 @dataclass(frozen=True)
@@ -68,6 +76,12 @@ class ObsConfig:
         counter-based choice keeps the selection deterministic.
     max_trace_events:
         Hard cap on trace events; overflow is counted, not stored.
+    oracles:
+        Run the streaming anomaly oracles (stale bursts, in-doubt dwell,
+        rebalance stalls, quorum loss, monotonic reads) and interleave
+        their ``anomaly`` records with the timeline.
+    oracle_config:
+        Detection budgets and thresholds for the oracles.
     out_dir:
         When set, :meth:`RunObserver.finish` writes ``timeline.jsonl``
         (and ``trace.json`` if tracing) into this directory.
@@ -78,6 +92,8 @@ class ObsConfig:
     trace: bool = True
     trace_sample_every: int = 16
     max_trace_events: int = 200_000
+    oracles: bool = True
+    oracle_config: OracleConfig = field(default_factory=OracleConfig)
     out_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -135,6 +151,16 @@ class RunObserver:
         self._trace_every = config.trace_sample_every
         self._last_tick_t = store.sim.now
 
+        # ground-truth read/stale counters at the last tick, for windowed
+        # deltas (feeds the per-sample window fields and the burst oracle)
+        self._last_oracle_reads = store.oracle.reads
+        self._last_oracle_stale = store.oracle.stale_reads
+        self.oracles: Optional[AnomalyOracles] = (
+            AnomalyOracles(store, config.oracle_config, self._records.append)
+            if config.oracles
+            else None
+        )
+
         # own txn counters; used for samples only when no monitor listens
         self._own_commits = self.metrics.counter("txn_commits")
         self._own_aborts = self.metrics.counter("txn_aborts")
@@ -180,6 +206,8 @@ class RunObserver:
     def on_op_complete(self, result) -> None:
         self._ops_seen += 1
         self._ops_since_tick += 1
+        if self.oracles is not None and result.kind == "read":
+            self.oracles.on_read(result)
         if result.ok:
             acc = self._dc_read if result.kind == "read" else self._dc_write
             cell = acc.get(result.dc)
@@ -232,6 +260,8 @@ class RunObserver:
             if k not in ("kind", "t"):
                 record[k] = v
         self._records.append(record)
+        if self.oracles is not None:
+            self.oracles.on_elastic_event(str(kind), t)
         tracer = self.tracer
         if tracer is None:
             return
@@ -263,6 +293,8 @@ class RunObserver:
 
     def _on_bus_event(self, event: ObsEvent) -> None:
         self._records.append(event.to_record())
+        if self.oracles is not None:
+            self.oracles.on_bus_event(event)
         if self.tracer is not None:
             self.tracer.instant(event.kind, event.t, cat="failure", args=event.data)
 
@@ -325,6 +357,16 @@ class RunObserver:
             if self._open_txn_phase.pop(txn_id, None) == "resolve":
                 tracer.end("txn", span_id, "resolve", t)
 
+    def on_txn_prepared(self, node_id: int, txn_id: int, t: float) -> None:
+        """A participant voted YES and holds prepared (in-doubt) state."""
+        if self.oracles is not None:
+            self.oracles.on_txn_prepared(node_id, txn_id, t)
+
+    def on_txn_doubt_resolved(self, node_id: int, txn_id: int, t: float) -> None:
+        """A participant's prepared state was resolved by a decision."""
+        if self.oracles is not None:
+            self.oracles.on_txn_doubt_resolved(node_id, txn_id, t)
+
     # -- sampling --------------------------------------------------------------------
 
     def _collect(self, now: float) -> Dict[str, Any]:
@@ -333,9 +375,15 @@ class RunObserver:
         # interval on regular ticks, shorter for the closing partial sample.
         interval = max(now - self._last_tick_t, 1e-9)
         self._last_tick_t = now
+        window_reads = store.oracle.reads - self._last_oracle_reads
+        window_stale = store.oracle.stale_reads - self._last_oracle_stale
+        self._last_oracle_reads = store.oracle.reads
+        self._last_oracle_stale = store.oracle.stale_reads
         sample: Dict[str, Any] = {
             "stale_rate": store.oracle.stale_rate,
             "stale_reads": store.oracle.stale_reads,
+            "window_reads": window_reads,
+            "window_stale": window_stale,
             "level": self._level,
             "ops_per_s": self._ops_since_tick / interval,
             "hint_backlog": store.hints.pending_total() if store.hints else 0,
@@ -371,6 +419,10 @@ class RunObserver:
             sample["scale_ins"] = registry.counter("scale_ins").value
 
         self._records.append({"type": "sample", "t": now, **sample})
+        # Oracles evaluate after the sample lands so their anomaly records
+        # follow it at the same timestamp (stable interleaving).
+        if self.oracles is not None:
+            self.oracles.on_tick(now, window_reads, window_stale)
         return sample
 
     # -- artifacts -------------------------------------------------------------------
@@ -382,7 +434,18 @@ class RunObserver:
             "sample_interval": self.config.sample_interval,
             "trace": self.config.trace,
             "trace_sample_every": self.config.trace_sample_every,
+            # truncation surfaces: a capped trace or sampler is flagged
+            # here instead of silently missing records
+            "samples": sum(1 for r in self._records if r["type"] == "sample"),
+            "max_samples": self.config.max_samples,
+            "trace_events": len(self.tracer) if self.tracer is not None else 0,
+            "trace_dropped": self.tracer.dropped if self.tracer is not None else 0,
         }
+        if self.oracles is not None:
+            head["anomalies"] = {
+                k: self.oracles.counts[k] for k in sorted(self.oracles.counts)
+            }
+            head["anomalies_suppressed"] = self.oracles.suppressed
         for k in sorted(self.run_meta):
             head[f"meta_{k}"] = self.run_meta[k]
         return head
@@ -403,6 +466,8 @@ class RunObserver:
             r["type"] == "sample" for r in self._records
         ):
             self._collect(now)
+        if self.oracles is not None:
+            self.oracles.finish(now)
         if self.tracer is not None:
             # Close spans still open at the cutoff (in-flight transactions,
             # unfinished migrations) so every begin has a matching end.

@@ -2,10 +2,15 @@
 
 Consumed by the ``repro report`` CLI: loads a ``timeline.jsonl`` written
 by :class:`~repro.obs.recorder.RunObserver`, checks it against the
-``repro.obs/1`` schema, and renders it as an annotated text report
-(samples interleaved with event/explain markers) or a CSV of the sample
+timeline schema, and renders it as an annotated text report (samples
+interleaved with event/explain/anomaly markers) or a CSV of the sample
 series. Kept out of ``repro.obs.__init__`` so the hot path never pays
 for report-only imports.
+
+The loader accepts both schema generations: ``repro.obs/2`` (current;
+adds ``anomaly`` records and header truncation counters) and the
+``repro.obs/1`` artifacts older runs wrote -- those still validate and
+render, they simply carry no anomaly stream.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.common.errors import ConfigError
 from repro.obs.recorder import TIMELINE_SCHEMA
 
 __all__ = [
+    "SUPPORTED_SCHEMAS",
     "find_timelines",
     "load_timeline",
     "render_text",
@@ -25,8 +31,12 @@ __all__ = [
     "validate_timeline",
 ]
 
-_RECORD_TYPES = ("sample", "event", "explain")
+#: every schema generation the loader understands, oldest first.
+SUPPORTED_SCHEMAS = ("repro.obs/1", TIMELINE_SCHEMA)
+
+_RECORD_TYPES = ("sample", "event", "explain", "anomaly")
 _SAMPLE_REQUIRED = ("stale_rate", "level", "ops_per_s")
+_ANOMALY_PHASES = ("start", "end", "point")
 
 
 def find_timelines(path: str) -> List[str]:
@@ -67,17 +77,23 @@ def validate_timeline(records: List[Dict[str, Any]]) -> List[str]:
     if not records:
         return ["timeline is empty"]
     head = records[0]
+    schema = head.get("schema")
     if head.get("type") != "header":
         problems.append("first record must be the header")
-    elif head.get("schema") != TIMELINE_SCHEMA:
+    elif schema not in SUPPORTED_SCHEMAS:
         problems.append(
-            f"unknown schema {head.get('schema')!r} (expected {TIMELINE_SCHEMA!r})"
+            f"unknown schema {schema!r} (supported: {', '.join(SUPPORTED_SCHEMAS)})"
         )
     last_t = float("-inf")
     for i, record in enumerate(records[1:], start=2):
         rtype = record.get("type")
         if rtype not in _RECORD_TYPES:
             problems.append(f"record {i}: unknown type {rtype!r}")
+            continue
+        if rtype == "anomaly" and schema == "repro.obs/1":
+            problems.append(
+                f"record {i}: anomaly records are not part of repro.obs/1"
+            )
             continue
         t = record.get("t")
         if not isinstance(t, (int, float)):
@@ -94,6 +110,14 @@ def validate_timeline(records: List[Dict[str, Any]]) -> List[str]:
             problems.append(f"record {i}: event missing 'kind'")
         elif rtype == "explain" and "read_level" not in record:
             problems.append(f"record {i}: explain missing 'read_level'")
+        elif rtype == "anomaly":
+            if "oracle" not in record:
+                problems.append(f"record {i}: anomaly missing 'oracle'")
+            if record.get("phase") not in _ANOMALY_PHASES:
+                problems.append(
+                    f"record {i}: anomaly phase must be one of "
+                    f"{_ANOMALY_PHASES}, got {record.get('phase')!r}"
+                )
     return problems
 
 
@@ -121,6 +145,17 @@ def _explain_line(record: Dict[str, Any]) -> str:
         f" write_rate={_fmt(record.get('write_rate', 0))}/s,"
         f" read_rate={_fmt(record.get('read_rate', 0))}/s)"
     )
+
+
+def _anomaly_line(record: Dict[str, Any]) -> str:
+    oracle = record.get("oracle", "?")
+    phase = record.get("phase", "?")
+    detail = " ".join(
+        f"{k}={_fmt(record[k])}"
+        for k in sorted(record)
+        if k not in ("type", "t", "oracle", "phase")
+    )
+    return f"!! anomaly {oracle} {phase}{(' ' + detail) if detail else ''} !!"
 
 
 def _sample_line(record: Dict[str, Any]) -> str:
@@ -152,14 +187,26 @@ def render_text(records: List[Dict[str, Any]], source: str = "") -> str:
     meta = {
         k[len("meta_"):]: v for k, v in sorted(head.items()) if k.startswith("meta_")
     }
+    slo = meta.pop("slo", None)
     if meta:
         lines.append("meta: " + " ".join(f"{k}={v}" for k, v in meta.items()))
-    lines.append(
-        f"sample_interval={head.get('sample_interval', '?')} "
-        f"trace={'on' if head.get('trace') else 'off'}"
-    )
+    if isinstance(slo, dict):
+        lines.append(
+            "slo: " + " ".join(f"{k}={_fmt(slo[k])}" for k in sorted(slo))
+        )
+    status = f"sample_interval={head.get('sample_interval', '?')} "
+    status += f"trace={'on' if head.get('trace') else 'off'}"
+    if "samples" in head:
+        status += f" samples={head['samples']}"
+        if head.get("max_samples") and head["samples"] >= head["max_samples"]:
+            status += " (SAMPLER CAPPED)"
+    if "trace_events" in head:
+        status += f" trace_events={head['trace_events']}"
+    if head.get("trace_dropped"):
+        status += f" trace_dropped={head['trace_dropped']} (TRACE TRUNCATED)"
+    lines.append(status)
     lines.append("")
-    counts = {"sample": 0, "event": 0, "explain": 0}
+    counts = {"sample": 0, "event": 0, "explain": 0, "anomaly": 0}
     for record in records:
         rtype = record.get("type")
         if rtype not in counts:
@@ -170,14 +217,20 @@ def render_text(records: List[Dict[str, Any]], source: str = "") -> str:
             body = _event_line(record)
         elif rtype == "explain":
             body = _explain_line(record)
+        elif rtype == "anomaly":
+            body = _anomaly_line(record)
         else:
             body = _sample_line(record)
         lines.append(f"t={t:10.4f}  {body}")
     lines.append("")
-    lines.append(
+    summary = (
         f"{counts['sample']} samples, {counts['event']} events, "
         f"{counts['explain']} explains"
     )
+    summary += f", {counts['anomaly']} anomalies"
+    if head.get("anomalies_suppressed"):
+        summary += f" ({head['anomalies_suppressed']} suppressed by cap)"
+    lines.append(summary)
     return "\n".join(lines)
 
 

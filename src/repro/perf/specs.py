@@ -359,8 +359,11 @@ def _bench_cohort_geo_scenario(p: Params) -> int:
 
 def _bench_obs_overhead(p: Params) -> int:
     """The harness run with full observability on: sampler ticks, every-op
-    listener accounting, trace span construction. In-memory only (no artifact
-    writes), so the number isolates the recording overhead itself."""
+    listener accounting, trace span construction, and the streaming anomaly
+    oracles (on by default in ObsConfig, so the per-tick invariant checks and
+    per-read monotonicity sampling are inside the measured region). In-memory
+    only (no artifact writes), so the number isolates the recording overhead
+    itself."""
     from repro.experiments.platforms import ec2_harmony_platform
     from repro.experiments.runner import deploy_and_run, harmony_factory
     from repro.obs.recorder import ObsConfig
@@ -522,7 +525,7 @@ register(
 register(
     BenchSpec(
         name="obs-overhead",
-        description="Geo harness run with tracing + dense sampling attached",
+        description="Geo harness run with tracing, dense sampling and anomaly oracles attached",
         fn=_bench_obs_overhead,
         defaults={"ops": 12_000},
         quick={"ops": 2_500},

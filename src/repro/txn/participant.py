@@ -109,6 +109,9 @@ class TxnParticipant:
                 self.locks[key] = txn_id
             self.prepared[txn_id] = _Prepared(txn_id, tm_node, dict(writes))
             self._schedule_poll(txn_id)
+            obs = self.owner.obs
+            if obs is not None:
+                obs.on_txn_prepared(self.node_id, txn_id, self._sim().now)
         else:
             self.votes_no += 1
         self._send_vote(tm_node, txn_id, vote)
@@ -157,6 +160,9 @@ class TxnParticipant:
                 del self.locks[key]
         self._cancel_poll(txn_id)
         del self.prepared[txn_id]
+        obs = self.owner.obs
+        if obs is not None:
+            obs.on_txn_doubt_resolved(self.node_id, txn_id, self._sim().now)
         self._send_ack(tm_node, txn_id)
 
     def _apply(self, p: _Prepared) -> None:
@@ -193,6 +199,11 @@ class TxnParticipant:
             for key in p.writes:
                 self.locks[key] = txn_id
             self.in_doubt_recovered += 1
+            obs = self.owner.obs
+            if obs is not None:
+                # Re-register with the WAL's original prepare time so the
+                # dwell clock spans the crash window, not just the restart.
+                obs.on_txn_prepared(self.node_id, txn_id, rec.time)
             self._query_status(txn_id)
             self._schedule_poll(txn_id)
 

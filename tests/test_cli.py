@@ -16,6 +16,8 @@ class TestParser:
             argv = [name, "--ops", "100", "--seed", "3"]
             if name == "report":
                 argv.insert(1, "some/path")  # report takes a positional PATH
+            elif name == "diff":
+                argv[1:1] = ["run/a", "run/b"]  # diff takes two positionals
             args = parser.parse_args(argv)
             assert args.command == name
             assert args.ops == 100

@@ -288,7 +288,7 @@ class TestMarkers:
         text = render_text(outcome.obs.timeline_records(), source="test")
         assert "** node-crash" in text
         assert "** node-recover" in text
-        assert "run timeline" in text and "repro.obs/1" in text
+        assert "run timeline" in text and "repro.obs/2" in text
 
     def test_trace_carries_failure_instants(self):
         outcome = self._observed_failure_run()
