@@ -135,6 +135,7 @@ def _scenarios(args) -> None:
                     ),
                     "client_mode": spec.client_mode,
                     "clients": spec.clients,
+                    "commit_protocol": spec.defaults.get("commit_protocol"),
                     "slo": spec.slo.to_dict() if spec.slo is not None else None,
                 }
             )
@@ -172,8 +173,10 @@ def _txn(args) -> None:
     factories = {name: named_policy_factory(name) for name in selected}
 
     txns = args.ops if args.ops is not None else 2000
+    protocol = getattr(args, "protocol", None)
+    label = (protocol or "2pc").upper().replace("COOP", "coop")
     table = Table(
-        f"atomic {spec.name} transactions, 2PC over two EC2 AZs ({txns} txns)",
+        f"atomic {spec.name} transactions, {label} over two EC2 AZs ({txns} txns)",
         [
             "policy",
             "commits",
@@ -190,6 +193,7 @@ def _txn(args) -> None:
             ec2_harmony_platform(), factory, spec, txns=txns,
             clients=min(16, txns),
             seed=args.seed,
+            commit_protocol=protocol,
         )
         t = outcome.report.txn
         lat = outcome.tstore.commit_latency
@@ -487,6 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="NAME",
                 help="read-level policy: eventual, quorum, strong, harmony, "
                 "or all (compare)",
+            )
+            p.add_argument(
+                "--protocol",
+                default=None,
+                metavar="NAME",
+                help="commit protocol: 2pc, 2pc-coop, or 3pc "
+                "(default: the TxnConfig default, 2pc)",
             )
         if name == "scenarios":
             p.add_argument(

@@ -27,6 +27,7 @@ from repro.experiments.platforms import (
     single_dc_platform,
     ec2_harmony_platform,
     grid5000_harmony_platform,
+    storm_txn_platform,
     ec2_cost_platform,
     grid5000_bismar_platform,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "single_dc_platform",
     "ec2_harmony_platform",
     "grid5000_harmony_platform",
+    "storm_txn_platform",
     "ec2_cost_platform",
     "grid5000_bismar_platform",
     "PolicyFactory",

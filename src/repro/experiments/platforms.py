@@ -38,6 +38,7 @@ __all__ = [
     "small_dc_platform",
     "ec2_harmony_platform",
     "grid5000_harmony_platform",
+    "storm_txn_platform",
     "ec2_cost_platform",
     "grid5000_bismar_platform",
 ]
@@ -190,6 +191,32 @@ def grid5000_harmony_platform(scale: float = 1.0) -> Platform:
         default_record_count=int(1000 * scale),
         default_ops=int(30_000 * scale),
         default_clients=32,
+    )
+
+
+def storm_txn_platform(scale: float = 1.0) -> Platform:
+    """A deliberately small two-site cluster for the commit-protocol storms.
+
+    Ten nodes over the Grid'5000 WAN, RF=3 with a cross-site replica. Not
+    a paper platform: with only five coordinators per site, a rolling
+    crash storm almost surely takes down nodes that are acting as
+    transaction manager for in-flight commits, so the crash-storm
+    scenarios exercise the in-doubt / termination paths on every run
+    instead of by seed luck (on the 84-node Grid'5000 preset a 4-node
+    storm rarely lands on a TM inside its one-RTT prepared window).
+    """
+    return Platform(
+        name="storm-txn",
+        topology_factory=lambda: Topology(
+            [Datacenter("rennes", "west-france"), Datacenter("sophia", "south-france")],
+            [5, 5],
+            latency=_g5k_latencies(),
+        ),
+        strategy_factory=lambda: NetworkTopologyStrategy({0: 2, 1: 1}),
+        prices=FREE_PRIVATE_CLOUD,
+        default_record_count=int(400 * scale),
+        default_ops=int(12_000 * scale),
+        default_clients=12,
     )
 
 

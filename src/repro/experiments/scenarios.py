@@ -44,6 +44,7 @@ from repro.experiments.platforms import (
     grid5000_harmony_platform,
     single_dc_platform,
     small_dc_platform,
+    storm_txn_platform,
 )
 from repro.experiments.runner import (
     PolicyFactory,
@@ -133,6 +134,13 @@ class ScenarioSpec:
         (:class:`~repro.obs.slo.SLOSpec`). Stamped into every observed
         run's timeline header (``meta_slo``) so ``repro report --slo``
         can grade artifacts without the registry; ``None`` = no SLO.
+    oracle_overrides:
+        Per-scenario anomaly-oracle budget overrides
+        (:class:`~repro.obs.oracles.OracleConfig` field name -> value),
+        merged into whatever :class:`ObsConfig` the caller passes. A
+        scenario that grades a dwell-based SLO calibrates the dwell
+        budget here so the budget travels with the scenario, not with
+        each invocation.
     """
 
     name: str
@@ -150,6 +158,7 @@ class ScenarioSpec:
     clients: Optional[int] = None
     client_mode: str = "per_client"
     slo: Optional[SLOSpec] = None
+    oracle_overrides: Mapping[str, Any] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
 
     def resolve_params(self, overrides: Optional[Params] = None) -> Dict[str, Any]:
@@ -186,6 +195,13 @@ class ScenarioSpec:
             raise ConfigError(
                 f"client_mode must be 'per_client' or 'cohort', got {mode!r}"
             )
+        if obs is not None and self.oracle_overrides:
+            obs = replace(
+                obs,
+                oracle_config=replace(
+                    obs.oracle_config, **dict(self.oracle_overrides)
+                ),
+            )
         failure_script = None
         if self.failures is not None:
             fail = self.failures
@@ -218,6 +234,11 @@ class ScenarioSpec:
                 target_throughput=self.pacing(params) if self.pacing else None,
                 failure_script=failure_script,
                 txn_config=self.txn_config(params) if self.txn_config else None,
+                commit_protocol=(
+                    str(params["commit_protocol"])
+                    if "commit_protocol" in params
+                    else None
+                ),
                 obs=obs,
             )
         else:
@@ -554,34 +575,104 @@ register(
     )
 )
 
+#: Protocol tunables shared by the crash-storm and protocol-shootout
+#: scenarios: short timeouts keep every blocking window inside the ~2s
+#: runs, and the capped backoff bounds a blocked participant's poll
+#: schedule (and therefore its worst-case termination latency): two
+#: unanswered polls (<= 0.375s with full jitter) start the termination
+#: round, whose reply window closes 0.25s later -- so a cooperative
+#: participant is unblocked well inside ``_STORM_DWELL_BUDGET`` even
+#: when a co-participant died with the TM, while blocking 2PC dwells
+#: for the whole ``downtime`` (1.5s) until its TM returns.
+def _storm_txn_config(p: Params) -> TxnConfig:
+    return TxnConfig(
+        prepare_timeout=0.5,
+        client_timeout=2.0,
+        retry_interval=0.25,
+        status_interval=0.1,
+        status_backoff=2.0,
+        status_interval_max=0.5,
+        termination_after=2,
+        termination_timeout=0.25,
+    )
+
+
+#: The dwell-oracle budget the storm SLOs grade against: above the
+#: worst-case cooperative-termination latency (~0.65s), well below
+#: blocking 2PC's TM-recovery dwell (the 1.5s storm downtime), so each
+#: blocking catch contributes ~0.8s of overdue time and the 0.75s
+#: ``blocked_txn_time_max`` separates the protocols with margin on
+#: both sides.
+_STORM_DWELL_BUDGET = 0.7
+
+
 register(
     ScenarioSpec(
         name="txn-crash-storm",
         description="Atomic read-modify-writes while rolling crashes sweep "
         "the cluster: commit availability and in-doubt recovery",
-        platform=grid5000_harmony_platform,
+        # The deliberately small two-site platform: with five coordinators
+        # per site the storm reliably crashes nodes that are acting as TM
+        # for in-flight commits, so the in-doubt/termination paths run on
+        # every seed (on the 84-node preset that is a rare coincidence).
+        platform=storm_txn_platform,
         policy=_harmony_policy,
         txn_workload=lambda p: read_modify_write_mix(record_count=400),
-        txn_config=lambda p: TxnConfig(
-            prepare_timeout=0.5,
-            client_timeout=2.0,
-            retry_interval=0.25,
-            status_interval=0.25,
-        ),
+        txn_config=_storm_txn_config,
         failures=_storm_script,
         # The storm rolls early and fast relative to the ~2s run, so every
         # crash and every recovery (with its in-doubt resolution) lands
-        # inside the measured window.
+        # inside the measured window. ``commit_protocol`` is a sweepable
+        # axis: the CI shootout smoke runs all protocols through this one
+        # storm and grades each against the blocked-time SLO below --
+        # blocking 2PC (no termination) is the known-breaching gate, the
+        # cooperative and non-blocking protocols must pass.
         defaults={
             "tolerance": 0.2,
+            "commit_protocol": "2pc",
             "crash_start": 0.5,
             "crash_count": 4,
             "crash_interval": 0.5,
-            "downtime": 1.0,
+            "downtime": 1.5,
         },
+        slo=SLOSpec(blocked_txn_time_max=0.75, abort_rate_max=0.9),
+        oracle_overrides={"in_doubt_dwell": _STORM_DWELL_BUDGET},
         ops=1200,
         clients=12,
         tags=("txn", "failures"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="txn-protocol-shootout",
+        description="2PC vs cooperative termination vs 3PC through one "
+        "identical crash storm: abort rate, blocked-participant time, and "
+        "message cost per protocol",
+        platform=storm_txn_platform,
+        policy=_harmony_policy,
+        txn_workload=lambda p: read_modify_write_mix(record_count=400),
+        txn_config=_storm_txn_config,
+        failures=_storm_script,
+        # One parameter point per protocol, identical otherwise: sweeping
+        # ``commit_protocol=2pc,2pc-coop,3pc`` drives each protocol through
+        # the same parameter-scripted crash storm (same crash schedule,
+        # same node set -- the storm is a pure function of the params, not
+        # of the seed), so the per-protocol abort/blocked-time/message-cost
+        # table isolates what the protocol itself costs and saves.
+        defaults={
+            "tolerance": 0.2,
+            "commit_protocol": "2pc",
+            "crash_start": 0.5,
+            "crash_count": 4,
+            "crash_interval": 0.5,
+            "downtime": 1.5,
+        },
+        slo=SLOSpec(blocked_txn_time_max=0.75, abort_rate_max=0.9),
+        oracle_overrides={"in_doubt_dwell": _STORM_DWELL_BUDGET},
+        ops=1200,
+        clients=12,
+        tags=("txn", "shootout", "protocol", "failures"),
     )
 )
 

@@ -282,9 +282,13 @@ _CSV_COLUMNS = (
 #: run in the sweep carries a ``txn`` metrics block; rows of non-txn
 #: scenarios leave them empty.
 _TXN_CSV_COLUMNS = (
+    "commit_protocol",
     "txns",
     "commits",
     "abort_rate",
+    "blocked_time",
+    "msgs",
+    "msg_bytes",
     "in_doubt_end",
     "lost_updates",
     "commit_latency_p99_ms",

@@ -160,20 +160,30 @@ class _InDoubtDwellOracle:
 
     name = "in-doubt-dwell"
 
-    def __init__(self, config: OracleConfig, emit: _Emit):
+    def __init__(self, config: OracleConfig, emit: _Emit, store=None):
         self._config = config
         self._emit = emit
-        #: (node, txn) -> earliest prepare time seen (WAL time on recovery).
+        self._store = store
+        #: (node, txn) -> earliest prepare time seen while the node is up
+        #: (recovery re-registers at the recovery instant, restarting the
+        #: clock: a crashed participant is dead, not blocked).
         self._prepared: Dict[Tuple[int, int], float] = {}
         self._open: Dict[Tuple[int, int], float] = {}
 
     def on_prepared(self, node_id: int, txn_id: int, t: float) -> None:
         key = (node_id, txn_id)
         prev = self._prepared.get(key)
-        # Recovery re-registers with the original WAL prepare time; keep
-        # the earliest so the dwell clock spans the crash window.
+        # Duplicate registrations while up keep the earliest time.
         if prev is None or t < prev:
             self._prepared[key] = t
+
+    def _node_down(self, node_id: int) -> bool:
+        if self._store is None:
+            return False
+        nodes = self._store.nodes
+        if not 0 <= node_id < len(nodes):
+            return False
+        return not nodes[node_id].up
 
     def on_resolved(self, node_id: int, txn_id: int, t: float) -> None:
         key = (node_id, txn_id)
@@ -187,6 +197,18 @@ class _InDoubtDwellOracle:
     def on_tick(self, now: float) -> None:
         budget = self._config.in_doubt_dwell
         for key in sorted(self._prepared):
+            if self._node_down(key[0]):
+                # A crashed participant is dead, not blocked: drop its
+                # dwell (recovery re-registers the pair at the recovery
+                # instant, restarting the clock).
+                del self._prepared[key]
+                if key in self._open:
+                    del self._open[key]
+                    self._emit(
+                        self.name, "end", now, node=key[0], txn=key[1],
+                        crashed=True,
+                    )
+                continue
             if key in self._open:
                 continue
             waited = now - self._prepared[key]
@@ -201,6 +223,21 @@ class _InDoubtDwellOracle:
                     waited=waited,
                     budget=budget,
                 )
+
+    @property
+    def pending(self) -> int:
+        """(node, txn) pairs currently prepared without a decision."""
+        return len(self._prepared)
+
+    @property
+    def overdue(self) -> int:
+        """(node, txn) pairs held past the dwell budget (open anomalies).
+
+        The *blocked* signal: ordinary in-flight prepares (one commit
+        round trip of dwell) don't count, only transactions a participant
+        has been stuck on beyond ``in_doubt_dwell`` simulated seconds.
+        """
+        return len(self._open)
 
     def finish(self, now: float) -> None:
         for key in sorted(self._open):
@@ -429,7 +466,7 @@ class AnomalyOracles:
         self.suppressed = 0
         emit = self._emit
         self.stale_burst = _StaleBurstOracle(config, emit)
-        self.in_doubt = _InDoubtDwellOracle(config, emit)
+        self.in_doubt = _InDoubtDwellOracle(config, emit, store)
         self.rebalance = _RebalanceStallOracle(config, emit, store)
         self.quorum = _QuorumLossOracle(config, emit, store)
         self.monotonic = _MonotonicReadOracle(config, emit)
@@ -474,6 +511,16 @@ class AnomalyOracles:
 
     def on_txn_doubt_resolved(self, node_id: int, txn_id: int, t: float) -> None:
         self.in_doubt.on_resolved(node_id, txn_id, t)
+
+    @property
+    def blocked_now(self) -> int:
+        """Participants blocked in doubt right now (dwell-oracle state).
+
+        Counts only pairs held past the configured dwell budget, so the
+        signal discriminates protocol blocking from the healthy prepared
+        window every commit round necessarily has.
+        """
+        return self.in_doubt.overdue
 
     def on_tick(self, now: float, window_reads: int, window_stale: int) -> None:
         self.stale_burst.on_tick(now, window_reads, window_stale)

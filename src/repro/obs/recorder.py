@@ -332,7 +332,7 @@ class RunObserver:
             self.tracer.instant("explain", decision.t, cat="policy", args=record)
 
     def on_txn_phase(self, txn_id: int, phase: str, t: float, **info) -> None:
-        """2PC phase transition from a transaction manager."""
+        """Commit-protocol phase transition from a transaction manager."""
         tracer = self.tracer
         if tracer is None:
             return
@@ -340,6 +340,10 @@ class RunObserver:
         if phase == "prepare":
             self._open_txn_phase[txn_id] = "prepare"
             tracer.begin("txn", span_id, "prepare", t, info or None)
+        elif phase == "precommit":
+            # The 3PC barrier: an instant mark inside the open prepare span
+            # (the round is still on its way to the commit point).
+            tracer.instant("precommit", t, cat="txn", args=info)
         elif phase == "decide":
             if self._open_txn_phase.get(txn_id) == "prepare":
                 tracer.end("txn", span_id, "prepare", t)
@@ -414,6 +418,12 @@ class RunObserver:
         )
         for name in ("txn_commits", "txn_aborts", "txn_in_doubt"):
             sample[name] = registry.counter(name).value
+        if self.oracles is not None:
+            # Participant-side blocked state straight from the in-doubt
+            # dwell oracle: (node, txn) pairs held prepared-without-decision
+            # past the dwell budget right now. The SLO engine integrates
+            # this signal over the sampler windows into ``blocked_txn_time``.
+            sample["txn_blocked"] = self.oracles.blocked_now
         if self._monitor_metrics is not None:
             sample["scale_outs"] = registry.counter("scale_outs").value
             sample["scale_ins"] = registry.counter("scale_ins").value

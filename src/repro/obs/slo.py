@@ -48,8 +48,10 @@ class SLOSpec:
         Final aborts / (commits + aborts); vacuously met without
         transactions.
     blocked_txn_time_max:
-        Total simulated seconds with any transaction in doubt; graded
-        against the budget as a fraction of run time.
+        Total simulated seconds with any participant *blocked* in doubt:
+        prepared without a decision past the dwell oracle's budget, per
+        the ``txn_blocked`` sample signal (older timelines fall back to
+        the client-visible in-doubt counter).
     cost_ceiling_usd:
         Total run cost ceiling (needs ``meta_cost_total_usd`` in the
         header, stamped by the scenario harness).
@@ -282,8 +284,19 @@ def evaluate_slo(records: List[Dict[str, Any]], spec: SLOSpec) -> SLOReport:
         )
 
     if spec.blocked_txn_time_max is not None:
+        # Prefer the participant-side blocked count the dwell oracle feeds
+        # into samples (``txn_blocked``: prepared-without-decision pairs);
+        # older timelines without it fall back to the client-visible
+        # in-doubt counter.
         blocked = sum(
-            dt for dt, s in windows if int(s.get("txn_in_doubt", 0)) > 0
+            dt
+            for dt, s in windows
+            if int(s.get("txn_blocked", s.get("txn_in_doubt", 0))) > 0
+        )
+        detail = (
+            "windows with blocked participants"
+            if any("txn_blocked" in s for _, s in windows)
+            else "windows with in-doubt transactions"
         )
         results.append(
             SLOResult(
@@ -291,7 +304,7 @@ def evaluate_slo(records: List[Dict[str, Any]], spec: SLOSpec) -> SLOReport:
                 spec.blocked_txn_time_max,
                 blocked,
                 blocked > spec.blocked_txn_time_max,
-                detail="windows with in-doubt transactions",
+                detail=detail,
             )
         )
 

@@ -325,6 +325,43 @@ def _bench_txn_2pc(p: Params) -> int:
     return int(outcome.report.txn["txns"])
 
 
+def _bench_txn_protocol(p: Params) -> int:
+    """Commit-protocol machinery under a rolling crash storm: termination
+    rounds, pre-commit barriers and WAL recovery re-drives, not just the
+    happy commit path."""
+    from repro.cluster.failures import FailureInjector
+    from repro.experiments.platforms import storm_txn_platform
+    from repro.experiments.runner import named_policy_factory
+    from repro.txn.api import TxnConfig
+    from repro.txn.runner import deploy_and_run_txn
+    from repro.workload.workloads import read_modify_write_mix
+
+    def storm(injector: FailureInjector) -> None:
+        injector.crash_storm([0, 2, 5, 7], start=0.5, interval=0.5, downtime=1.5)
+
+    outcome = deploy_and_run_txn(
+        storm_txn_platform(),
+        named_policy_factory("quorum"),
+        read_modify_write_mix(record_count=int(p["records"])),
+        txns=int(p["txns"]),
+        clients=int(p["clients"]),
+        seed=int(p["seed"]),
+        failure_script=storm,
+        txn_config=TxnConfig(
+            prepare_timeout=0.5,
+            client_timeout=2.0,
+            retry_interval=0.25,
+            status_interval=0.1,
+            status_backoff=2.0,
+            status_interval_max=0.5,
+            termination_after=2,
+            termination_timeout=0.25,
+        ),
+        commit_protocol=str(p["protocol"]),
+    )
+    return int(outcome.report.txn["txns"])
+
+
 def _bench_cohort_million(p: Params) -> int:
     """Cohort-mode runner at the scale ceiling: 10^6 clients, one pooled
     generator per DC, paced aggregate arrivals through the full data path."""
@@ -495,6 +532,18 @@ register(
         quick={"txns": 400},
         events_unit="txns",
         tags=("txn",),
+    )
+)
+
+register(
+    BenchSpec(
+        name="txn-protocol",
+        description="Commit-protocol storm: 3PC + termination paths under rolling crashes",
+        fn=_bench_txn_protocol,
+        defaults={"txns": 1_200, "clients": 12, "records": 400, "protocol": "3pc"},
+        quick={"txns": 400},
+        events_unit="txns",
+        tags=("txn", "protocol"),
     )
 )
 

@@ -32,8 +32,9 @@ in-doubt machinery.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigError, SimulationError
 from repro.common.stats import Histogram
@@ -44,7 +45,32 @@ from repro.txn.participant import TxnParticipant
 from repro.txn.tm import TransactionManager
 from repro.txn.wal import WriteAheadLog
 
-__all__ = ["TxnConfig", "TxnOutcome", "Transaction", "TransactionalStore"]
+__all__ = [
+    "PROTOCOLS",
+    "TxnConfig",
+    "TxnOutcome",
+    "Transaction",
+    "TransactionalStore",
+]
+
+#: The commit protocols the transaction subsystem implements.
+#:
+#: ``2pc``
+#:     Classic presumed-abort two-phase commit. Prepared participants
+#:     poll only the TM for the verdict: a crashed coordinator blocks
+#:     them until it recovers -- the textbook 2PC blocking window.
+#: ``2pc-coop``
+#:     2PC plus the cooperative termination protocol: a prepared
+#:     participant whose TM polls go unanswered queries its
+#:     co-participants, any of whom holding a commit/abort record
+#:     answers authoritatively, so blocked time no longer depends on TM
+#:     recovery (fail-stop model).
+#: ``3pc``
+#:     Three-phase commit with a pre-commit phase between vote
+#:     collection and the commit point; non-blocking under a single
+#:     coordinator failure (fail-stop, no partitions -- the classical
+#:     3PC guarantee).
+PROTOCOLS = ("2pc", "2pc-coop", "3pc")
 
 
 @dataclass
@@ -62,7 +88,29 @@ class TxnConfig:
     retry_interval:
         TM decision re-send period until all participants acknowledge.
     status_interval:
-        Prepared-participant polling period for the TM's verdict.
+        Base delay before a prepared participant's *first* status poll;
+        subsequent polls back off exponentially (below).
+    status_backoff:
+        Multiplier applied to the poll delay after every unanswered
+        attempt (>= 1.0; 1.0 restores the legacy fixed interval).
+    status_interval_max:
+        Cap on the backed-off poll delay, so a long-dead TM is still
+        probed at a bounded period.
+    status_jitter:
+        Fractional jitter added to each poll delay, derived
+        deterministically from ``(seed, node, txn, attempt)`` -- crash
+        storms stop synchronizing status-query bursts while runs stay
+        byte-identical for a fixed seed. In ``[0, 1)``.
+    termination_after:
+        Unanswered TM polls before a ``2pc-coop``/``3pc`` participant
+        starts querying its co-participants (cooperative termination).
+    termination_timeout:
+        Reply window of one termination round; when it closes, peers
+        that never answered (dead, under fail-stop) count as uncertain
+        and the round concludes. ``None`` reuses ``prepare_timeout``.
+    commit_protocol:
+        One of :data:`PROTOCOLS`; selects the atomic-commit state
+        machines every TM and participant of this store run.
     validate_reads:
         Commit-time optimistic validation of read-then-written keys
         against each replica's local state. Off = eventual-style blind
@@ -76,13 +124,68 @@ class TxnConfig:
     client_timeout: float = 10.0
     retry_interval: float = 0.5
     status_interval: float = 0.5
+    status_backoff: float = 2.0
+    status_interval_max: float = 5.0
+    status_jitter: float = 0.25
+    termination_after: int = 2
+    termination_timeout: Optional[float] = None
+    commit_protocol: str = "2pc"
     validate_reads: bool = True
     grade_anomalies: bool = True
 
     def __post_init__(self) -> None:
-        for name in ("prepare_timeout", "client_timeout", "retry_interval", "status_interval"):
+        for name in (
+            "prepare_timeout",
+            "client_timeout",
+            "retry_interval",
+            "status_interval",
+            "status_interval_max",
+        ):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.status_backoff < 1.0:
+            raise ConfigError(
+                f"status_backoff must be >= 1.0, got {self.status_backoff}"
+            )
+        if not 0.0 <= self.status_jitter < 1.0:
+            raise ConfigError(
+                f"status_jitter must be in [0, 1), got {self.status_jitter}"
+            )
+        if self.termination_after < 1:
+            raise ConfigError(
+                f"termination_after must be >= 1, got {self.termination_after}"
+            )
+        if self.termination_timeout is not None and self.termination_timeout <= 0:
+            raise ConfigError(
+                f"termination_timeout must be positive, got "
+                f"{self.termination_timeout}"
+            )
+        if self.commit_protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown commit_protocol {self.commit_protocol!r}; "
+                f"choose from {', '.join(PROTOCOLS)}"
+            )
+
+    def poll_delay(self, seed: int, node_id: int, txn_id: int, attempt: int) -> float:
+        """The ``attempt``-th status-poll delay for one prepared transaction.
+
+        Deterministic exponential backoff with derived jitter: the base
+        delay doubles (``status_backoff``) per attempt up to
+        ``status_interval_max``, and the jitter fraction comes from a
+        CRC32 hash of the ``(seed, node, txn, attempt)`` identity -- the
+        same derivation style as :class:`~repro.common.rng.RngFactory`
+        stream names, so no shared RNG state is consumed and event order
+        is a pure function of the seed.
+        """
+        base = min(
+            self.status_interval * self.status_backoff ** attempt,
+            self.status_interval_max,
+        )
+        if self.status_jitter <= 0.0:
+            return base
+        tag = f"txnpoll.{seed}.{node_id}.{txn_id}.{attempt}".encode()
+        frac = zlib.crc32(tag) / 2**32
+        return base * (1.0 + self.status_jitter * frac)
 
 
 class TxnOutcome:
@@ -267,6 +370,8 @@ class TransactionalStore:
         self.in_doubt_resolved = 0
         self.lost_updates = 0
         self.txn_stale_reads = 0
+        self.txn_msgs = 0
+        self.txn_msg_bytes = 0
         self.commit_latency = Histogram(lo=1e-5, hi=60.0)
         # The WAL is append-only and the recovery counters are cumulative by
         # design (they are protocol state, not measurement surfaces), so the
@@ -277,6 +382,24 @@ class TransactionalStore:
             p.in_doubt_recovered for p in self.participants
         )
         self._tm_recovery_resolved0 = sum(t.recovery_resolved for t in self.tms)
+        self._termination_resolved0 = sum(
+            p.termination_resolved for p in self.participants
+        )
+        self._blocked_time0 = sum(p.blocked_time for p in self.participants)
+
+    # -- protocol messaging -------------------------------------------------------
+
+    def send(self, src: int, dst: int, nbytes: int, fn: Callable[..., Any], *args: Any):
+        """Send one protocol message, counted toward the run's message cost.
+
+        Every TM/participant message (prepare, vote, pre-commit, decision,
+        ack, status query/reply, termination query/reply) goes through
+        here, so ``txn_summary()['msgs']``/``['msg_bytes']`` is the exact
+        per-protocol message bill the shootout compares.
+        """
+        self.txn_msgs += 1
+        self.txn_msg_bytes += int(nbytes)
+        return self.store.network.send(src, dst, nbytes, fn, *args)
 
     # -- client API ---------------------------------------------------------------
 
@@ -425,15 +548,40 @@ class TransactionalStore:
     def in_doubt_now(self) -> int:
         """Transactions currently prepared-but-undecided somewhere.
 
-        A pure WAL scan, not a volatile-state scan: a transaction held
-        prepared in a *crashed* node's log is exactly as in doubt as one
-        in a live node's memory -- recovery will have to resolve it either
-        way, and the end-of-run audit must count it.
+        Derived from the WALs' incremental pending sets, not volatile
+        state: a transaction held prepared in a *crashed* node's log is
+        exactly as in doubt as one in a live node's memory -- recovery
+        will have to resolve it either way, and the end-of-run audit must
+        count it.
         """
-        pending: Set[int] = set()
+        pending = set()
         for wal in self.wals:
             pending.update(wal.in_doubt())
         return len(pending)
+
+    def blocked_participant_time(self) -> float:
+        """Total prepared-without-decision dwell across all participants.
+
+        The sum, over every (participant, transaction) pair, of the
+        simulated seconds between the WAL ``prepare`` record and the
+        decision that resolved it -- still-unresolved entries of *live*
+        nodes accrue up to the current clock (a crashed node is dead, not
+        blocked; its dwell re-enters on recovery, backdated to the durable
+        prepare time). Dwell starts at the *durable* prepare time, so it
+        spans crash windows; this is the same quantity the in-doubt-dwell
+        oracle watches, integrated exactly instead of per sampler tick.
+        """
+        now = self.store.sim.now
+        open_dwell = 0.0
+        for wal in self.wals:
+            if not self.store.nodes[wal.node_id].up:
+                continue
+            for txn_id in wal.in_doubt():
+                rec = wal.prepare_record(txn_id)
+                if rec is not None:
+                    open_dwell += now - rec.time
+        resolved = sum(p.blocked_time for p in self.participants)
+        return (resolved - self._blocked_time0) + open_dwell
 
     def abort_count(self) -> int:
         return sum(self.aborts.values())
@@ -456,11 +604,15 @@ class TransactionalStore:
             "commits": self.commits,
             "aborts": dict(sorted(self.aborts.items())),
             "abort_rate": self.abort_count() / decided if decided else 0.0,
+            "commit_protocol": self.config.commit_protocol,
             "in_doubt_client": self.in_doubt_client,
             "in_doubt_resolved": self.in_doubt_resolved,
             "in_doubt_end": self.in_doubt_now(),
+            "blocked_time": self.blocked_participant_time(),
             "lost_updates": self.lost_updates,
             "stale_txn_reads": self.txn_stale_reads,
+            "msgs": self.txn_msgs,
+            "msg_bytes": self.txn_msg_bytes,
             "commit_latency_mean_ms": self.commit_latency.mean * 1e3,
             "commit_latency_p99_ms": self.commit_latency.percentile(99) * 1e3,
             "wal_records": sum(len(w) for w in self.wals) - self._wal_records0,
@@ -471,6 +623,10 @@ class TransactionalStore:
             "tm_recovery_resolved": (
                 sum(t.recovery_resolved for t in self.tms)
                 - self._tm_recovery_resolved0
+            ),
+            "termination_resolved": (
+                sum(p.termination_resolved for p in self.participants)
+                - self._termination_resolved0
             ),
         }
 

@@ -1,4 +1,4 @@
-"""The replica-side state machine of presumed-abort two-phase commit.
+"""The replica-side state machines of the atomic-commit protocols.
 
 One :class:`TxnParticipant` per storage node. The participant's job per
 transaction:
@@ -9,28 +9,55 @@ local replica's version of every written-and-read key no newer than the
 version the transaction read (optimistic concurrency control graded
 against *this replica's* state -- a stale replica can wave a doomed
 transaction through, which is exactly how stale reads leak into abort and
-anomaly rates). A YES vote force-logs the buffered writes to the WAL and
-takes per-key locks; a NO vote logs nothing (presumed abort).
+anomaly rates). A YES vote force-logs the buffered writes -- and the
+co-participant list, which the termination protocol needs -- to the WAL
+and takes per-key locks; a NO vote logs nothing (presumed abort).
+
+``PRE-COMMIT`` (3PC only) -- every participant voted YES; log the fact and
+acknowledge. A pre-committed participant knows commit is inevitable
+unless the whole round dies, which is what makes 3PC non-blocking under
+a coordinator crash.
 
 ``COMMIT``/``ABORT`` -- log the decision, apply (last-write-wins) or
 discard the buffered writes, release locks, acknowledge the TM.
 
+**In-doubt polling** -- while prepared-without-decision the participant
+polls the TM for the verdict on a deterministic exponential-backoff
+schedule with derived jitter (:meth:`~repro.txn.api.TxnConfig.poll_delay`),
+so crash storms don't synchronize status-query bursts. A live TM always
+answers (verdict or "working"), and a "working" reply resets the backoff.
+
+**Cooperative termination** (``2pc-coop`` and ``3pc``) -- when
+``termination_after`` consecutive polls go unanswered, the participant
+queries its co-participants. A peer holding a commit/abort record answers
+authoritatively; an unprepared peer logs an abort *pledge* (it can never
+vote YES afterwards) and answers abort; a pre-committed peer answers
+pre-commit (drive to commit). When every peer answers "uncertain" -- or
+the round's reply window times out with peers silent (dead peers never
+reply; a dead peer holding a decision record would imply the fan-out
+already reached this live node) -- the round aborts unilaterally: under
+the fail-stop model a silent TM is a dead TM, and a dead TM that never
+logged a decision can only presumed-abort on recovery -- so abort is the
+unique safe outcome.
+(Partitions can violate this assumption; that is the classical limit of
+termination protocols and of 3PC itself, see docs/ARCHITECTURE.md.)
+
 **Crash/recovery** -- a crash wipes the lock table, the prepared-state
-mirror and the status-poll timers; only the WAL survives. Recovery
-rebuilds prepared state and locks from in-doubt ``prepare`` records (LSN
-order) and asks each transaction's TM for the verdict. While in doubt the
-participant also polls the TM periodically, which resolves lost decision
-messages and TM crash windows without any global observer.
+mirror, the poll timers and the termination bookkeeping; only the WAL
+survives. Recovery rebuilds prepared state (including pre-commit status
+and the co-participant list) from in-doubt ``prepare`` records in LSN
+order and asks each transaction's TM for the verdict.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.cluster.versions import Version
 from repro.txn.wal import (
     REC_ABORT,
     REC_COMMIT,
+    REC_PRECOMMIT,
     REC_PREPARE,
     WriteAheadLog,
 )
@@ -44,16 +71,25 @@ __all__ = ["TxnParticipant"]
 class _Prepared:
     """Volatile mirror of one in-doubt transaction (rebuilt from WAL)."""
 
-    __slots__ = ("txn_id", "tm_node", "writes")
+    __slots__ = ("txn_id", "tm_node", "writes", "co_participants", "precommitted")
 
-    def __init__(self, txn_id: int, tm_node: int, writes: Dict[str, Version]):
+    def __init__(
+        self,
+        txn_id: int,
+        tm_node: int,
+        writes: Dict[str, Version],
+        co_participants: List[int],
+        precommitted: bool = False,
+    ):
         self.txn_id = txn_id
         self.tm_node = tm_node
         self.writes = writes
+        self.co_participants = co_participants
+        self.precommitted = precommitted
 
 
 class TxnParticipant:
-    """Per-node prepare/commit state machine."""
+    """Per-node prepare/pre-commit/commit state machine."""
 
     def __init__(self, owner: "TransactionalStore", node_id: int, wal: WriteAheadLog):
         self.owner = owner
@@ -64,6 +100,13 @@ class TxnParticipant:
         #: txn_id -> prepared state awaiting a decision.
         self.prepared: Dict[int, _Prepared] = {}
         self._poll_events: Dict[int, Any] = {}
+        #: txn_id -> unanswered status polls since the last sign of TM life.
+        self._poll_attempts: Dict[int, int] = {}
+        #: txn_id -> peers that answered "uncertain" in the current round.
+        self._term_uncertain: Dict[int, Set[int]] = {}
+        #: txn_id -> token of the open termination round; any sign of TM
+        #: life (or a resolution) invalidates the round and its timeout.
+        self._term_round: Dict[int, int] = {}
         # counters (never reset by a crash -- they are measurement surfaces)
         self.prepares_seen = 0
         self.votes_yes = 0
@@ -71,6 +114,12 @@ class TxnParticipant:
         self.commits_applied = 0
         self.aborts_applied = 0
         self.in_doubt_recovered = 0
+        #: in-doubt entries resolved by the termination protocol (peer
+        #: verdicts, pledges driving rounds dry, and unilateral aborts).
+        self.termination_resolved = 0
+        #: total prepared-without-decision dwell resolved here, measured
+        #: from the durable WAL prepare time (spans crash windows).
+        self.blocked_time = 0.0
 
     # -- plumbing -----------------------------------------------------------------
 
@@ -80,6 +129,9 @@ class TxnParticipant:
     def _sim(self):
         return self.owner.store.sim
 
+    def _protocol(self) -> str:
+        return self.owner.config.commit_protocol
+
     # -- message handlers ---------------------------------------------------------
 
     def on_prepare(
@@ -88,6 +140,7 @@ class TxnParticipant:
         tm_node: int,
         writes: Dict[str, Version],
         read_versions: Dict[str, Optional[Version]],
+        co_participants: Any = (),
     ) -> None:
         """PREPARE from the TM: vote, and on YES make the writes durable."""
         if not self._node().up:
@@ -98,16 +151,25 @@ class TxnParticipant:
             return
         kinds = self.wal.kinds_for(txn_id)
         if REC_COMMIT in kinds or REC_ABORT in kinds:
-            return  # stale duplicate of an already-decided transaction
+            # Already decided here -- or abort-pledged to a termination
+            # query, in which case voting YES now would break the pledge.
+            return
         vote = self._evaluate(txn_id, writes, read_versions)
         if vote:
             self.votes_yes += 1
             self.wal.append(
-                REC_PREPARE, txn_id, self._sim().now, tm_node=tm_node, writes=dict(writes)
+                REC_PREPARE,
+                txn_id,
+                self._sim().now,
+                tm_node=tm_node,
+                writes=dict(writes),
+                co=list(co_participants),
             )
             for key in writes:
                 self.locks[key] = txn_id
-            self.prepared[txn_id] = _Prepared(txn_id, tm_node, dict(writes))
+            self.prepared[txn_id] = _Prepared(
+                txn_id, tm_node, dict(writes), [int(c) for c in co_participants]
+            )
             self._schedule_poll(txn_id)
             obs = self.owner.obs
             if obs is not None:
@@ -139,6 +201,25 @@ class TxnParticipant:
                 return False
         return True
 
+    def on_precommit(self, txn_id: int, tm_node: int) -> None:
+        """PRE-COMMIT from a 3PC TM: log it and acknowledge."""
+        if not self._node().up:
+            return  # lost; the TM re-sends until acknowledged
+        p = self.prepared.get(txn_id)
+        if p is None:
+            # Already resolved here (or never prepared); ack so a
+            # recovering TM can close its pre-commit barrier and move on.
+            self._send_precommit_ack(tm_node, txn_id)
+            return
+        if not p.precommitted:
+            p.precommitted = True
+            self.wal.append(REC_PRECOMMIT, txn_id, self._sim().now)
+        # A pre-commit is proof of TM life: restart the backoff schedule.
+        self._poll_attempts[txn_id] = 0
+        self._term_uncertain.pop(txn_id, None)
+        self._term_round.pop(txn_id, None)
+        self._send_precommit_ack(tm_node, txn_id)
+
     def on_decision(self, txn_id: int, tm_node: int, commit: bool) -> None:
         """COMMIT/ABORT from the TM (possibly a retry or a recovery reply)."""
         if not self._node().up:
@@ -149,21 +230,32 @@ class TxnParticipant:
             # already decided (duplicate retry). Ack so the TM stops.
             self._send_ack(tm_node, txn_id)
             return
-        self.wal.append(REC_COMMIT if commit else REC_ABORT, txn_id, self._sim().now)
+        self._resolve(p, commit)
+        self._send_ack(tm_node, txn_id)
+
+    def _resolve(self, p: _Prepared, commit: bool) -> None:
+        """Log the verdict, apply or discard, release, account the dwell."""
+        now = self._sim().now
+        self.wal.append(REC_COMMIT if commit else REC_ABORT, p.txn_id, now)
         if commit:
             self._apply(p)
             self.commits_applied += 1
         else:
             self.aborts_applied += 1
+        rec = self.wal.prepare_record(p.txn_id)
+        if rec is not None:
+            self.blocked_time += now - rec.time
         for key in p.writes:
-            if self.locks.get(key) == txn_id:
+            if self.locks.get(key) == p.txn_id:
                 del self.locks[key]
-        self._cancel_poll(txn_id)
-        del self.prepared[txn_id]
+        self._cancel_poll(p.txn_id)
+        self._poll_attempts.pop(p.txn_id, None)
+        self._term_uncertain.pop(p.txn_id, None)
+        self._term_round.pop(p.txn_id, None)
+        del self.prepared[p.txn_id]
         obs = self.owner.obs
         if obs is not None:
-            obs.on_txn_doubt_resolved(self.node_id, txn_id, self._sim().now)
-        self._send_ack(tm_node, txn_id)
+            obs.on_txn_doubt_resolved(self.node_id, p.txn_id, now)
 
     def _apply(self, p: _Prepared) -> None:
         """Install the prepared writes (last-write-wins, oracle-visible)."""
@@ -185,6 +277,9 @@ class TxnParticipant:
         for ev in self._poll_events.values():
             ev.cancel()
         self._poll_events.clear()
+        self._poll_attempts.clear()
+        self._term_uncertain.clear()
+        self._term_round.clear()
         self.locks.clear()
         self.prepared.clear()
 
@@ -194,25 +289,36 @@ class TxnParticipant:
             rec = self.wal.prepare_record(txn_id)
             if rec is None:  # pragma: no cover - in_doubt implies a record
                 continue
-            p = _Prepared(txn_id, int(rec.data["tm_node"]), dict(rec.data["writes"]))
+            p = _Prepared(
+                txn_id,
+                int(rec.data["tm_node"]),
+                dict(rec.data["writes"]),
+                [int(c) for c in rec.data.get("co", ())],
+                precommitted=self.wal.precommitted(txn_id),
+            )
             self.prepared[txn_id] = p
             for key in p.writes:
                 self.locks[key] = txn_id
             self.in_doubt_recovered += 1
             obs = self.owner.obs
             if obs is not None:
-                # Re-register with the WAL's original prepare time so the
-                # dwell clock spans the crash window, not just the restart.
-                obs.on_txn_prepared(self.node_id, txn_id, rec.time)
+                # Re-register at the recovery instant: the node was dead,
+                # not blocked, while down -- the dwell oracle's clock
+                # measures how long a *live* participant stays stuck.
+                obs.on_txn_prepared(self.node_id, txn_id, self._sim().now)
             self._query_status(txn_id)
             self._schedule_poll(txn_id)
 
-    # -- in-doubt polling ---------------------------------------------------------
+    # -- in-doubt polling (deterministic backoff) ---------------------------------
 
     def _schedule_poll(self, txn_id: int) -> None:
-        self._poll_events[txn_id] = self._sim().schedule(
-            self.owner.config.status_interval, self._poll, txn_id
+        delay = self.owner.config.poll_delay(
+            self.owner.store.config.seed,
+            self.node_id,
+            txn_id,
+            self._poll_attempts.get(txn_id, 0),
         )
+        self._poll_events[txn_id] = self._sim().schedule(delay, self._poll, txn_id)
 
     def _cancel_poll(self, txn_id: int) -> None:
         ev = self._poll_events.pop(txn_id, None)
@@ -223,7 +329,13 @@ class TxnParticipant:
         if txn_id not in self.prepared or not self._node().up:
             self._poll_events.pop(txn_id, None)
             return
+        self._poll_attempts[txn_id] = self._poll_attempts.get(txn_id, 0) + 1
         self._query_status(txn_id)
+        if (
+            self._protocol() in ("2pc-coop", "3pc")
+            and self._poll_attempts[txn_id] >= self.owner.config.termination_after
+        ):
+            self._terminate(txn_id)
         self._schedule_poll(txn_id)
 
     def _query_status(self, txn_id: int) -> None:
@@ -232,7 +344,7 @@ class TxnParticipant:
         if p is None:
             return
         st = self.owner.store
-        st.network.send(
+        self.owner.send(
             self.node_id,
             p.tm_node,
             st.sizes.digest,
@@ -241,11 +353,149 @@ class TxnParticipant:
             self.node_id,
         )
 
+    def on_tm_working(self, txn_id: int) -> None:
+        """The TM answered "still deciding": proof of life, reset backoff."""
+        if not self._node().up or txn_id not in self.prepared:
+            return
+        self._poll_attempts[txn_id] = 0
+        self._term_uncertain.pop(txn_id, None)
+        self._term_round.pop(txn_id, None)
+
+    # -- cooperative termination --------------------------------------------------
+
+    def _terminate(self, txn_id: int) -> None:
+        """One termination round: ask every co-participant for the verdict."""
+        p = self.prepared.get(txn_id)
+        if p is None:
+            return
+        if self._protocol() == "3pc" and p.precommitted:
+            # Pre-commit is proof every participant voted YES and the TM
+            # passed its commit point barrier's threshold; after sustained
+            # TM silence the round drives itself to commit (the 3PC
+            # non-blocking rule under a single coordinator failure).
+            self.termination_resolved += 1
+            self._resolve(p, commit=True)
+            self._send_ack(p.tm_node, txn_id)
+            return
+        peers = [c for c in p.co_participants if c != self.node_id]
+        if not peers:
+            # Sole participant: the sustained poll silence that brought us
+            # here is itself the evidence -- a live TM always answers, and
+            # a dead TM that never logged a decision presumes abort.
+            self._unilateral_abort(p)
+            return
+        token = self._term_round.get(txn_id, 0) + 1
+        self._term_round[txn_id] = token
+        self._term_uncertain[txn_id] = set()
+        st = self.owner.store
+        for peer in peers:
+            self.owner.send(
+                self.node_id,
+                peer,
+                st.sizes.digest,
+                self.owner.participants[peer].on_termination_query,
+                txn_id,
+                self.node_id,
+            )
+        # Backstop for dead peers (which never reply): conclude the round
+        # after a full timeout, counting non-repliers as uncertain. Safe
+        # under fail-stop with atomic log+fan-out events: a dead peer that
+        # held a commit (or pre-commit) record implies the TM's fan-out was
+        # already sent, hence delivered to this live node -- contradiction
+        # with still being prepared (resp. not pre-committed) here.
+        cfg = self.owner.config
+        window = (
+            cfg.termination_timeout
+            if cfg.termination_timeout is not None
+            else cfg.prepare_timeout
+        )
+        self._sim().schedule(window, self._termination_timeout, txn_id, token)
+
+    def _termination_timeout(self, txn_id: int, token: int) -> None:
+        """The round's reply window closed: missing peers count uncertain."""
+        if not self._node().up or self._term_round.get(txn_id) != token:
+            return  # superseded by a newer round or a sign of TM life
+        p = self.prepared.get(txn_id)
+        if p is None:
+            return
+        self._unilateral_abort(p)
+
+    def _unilateral_abort(self, p: _Prepared) -> None:
+        """Every reachable party is uncertain and the TM is silent: abort."""
+        self.termination_resolved += 1
+        self._resolve(p, commit=False)
+        self._send_ack(p.tm_node, p.txn_id)
+
+    def on_termination_query(self, txn_id: int, from_node: int) -> None:
+        """A blocked co-participant asks what this node knows."""
+        if not self._node().up:
+            return
+        decision = self.wal.decision_for(txn_id)
+        if decision is None:
+            p = self.prepared.get(txn_id)
+            if p is not None:
+                verdict = "precommit" if p.precommitted else "uncertain"
+            elif self.wal.prepare_record(txn_id) is not None:
+                # Prepared in the WAL but not in memory: this node is down
+                # in all reachable cases, so we cannot be here -- kept for
+                # safety as "uncertain".
+                verdict = "uncertain"  # pragma: no cover
+            else:
+                # Never voted YES (and, having pledged, never will): the TM
+                # cannot have decided commit without this vote, so abort is
+                # authoritative. The pledge is the logged abort record.
+                self.wal.append(
+                    REC_ABORT, txn_id, self._sim().now, pledge=True
+                )
+                verdict = "abort"
+        else:
+            verdict = decision
+        st = self.owner.store
+        self.owner.send(
+            self.node_id,
+            from_node,
+            st.sizes.digest,
+            self.owner.participants[from_node].on_termination_reply,
+            txn_id,
+            self.node_id,
+            verdict,
+        )
+
+    def on_termination_reply(self, txn_id: int, from_node: int, verdict: str) -> None:
+        """A co-participant's answer to this node's termination query."""
+        if not self._node().up:
+            return
+        p = self.prepared.get(txn_id)
+        if p is None:
+            return  # resolved meanwhile (TM retry or an earlier reply)
+        if verdict == "commit" or (verdict == "precommit" and self._protocol() == "3pc"):
+            self.termination_resolved += 1
+            self._resolve(p, commit=True)
+            self._send_ack(p.tm_node, txn_id)
+            return
+        if verdict == "abort":
+            self.termination_resolved += 1
+            self._resolve(p, commit=False)
+            self._send_ack(p.tm_node, txn_id)
+            return
+        # "uncertain" (or a precommit report under plain 2pc-coop, where it
+        # cannot occur): when every peer of the round is uncertain and the
+        # TM has been silent the whole backoff window, the fail-stop model
+        # says the TM is dead and undecided -- its own recovery would
+        # presume abort, so aborting now is the unique consistent outcome.
+        pending = self._term_uncertain.get(txn_id)
+        if pending is None:
+            return  # a stale reply from a superseded round
+        pending.add(from_node)
+        peers = {c for c in p.co_participants if c != self.node_id}
+        if peers and pending >= peers:
+            self._unilateral_abort(p)
+
     # -- outbound messages --------------------------------------------------------
 
     def _send_vote(self, tm_node: int, txn_id: int, vote: bool) -> None:
         st = self.owner.store
-        st.network.send(
+        self.owner.send(
             self.node_id,
             tm_node,
             st.sizes.ack,
@@ -255,9 +505,20 @@ class TxnParticipant:
             vote,
         )
 
+    def _send_precommit_ack(self, tm_node: int, txn_id: int) -> None:
+        st = self.owner.store
+        self.owner.send(
+            self.node_id,
+            tm_node,
+            st.sizes.ack,
+            self.owner.tms[tm_node].on_precommit_ack,
+            txn_id,
+            self.node_id,
+        )
+
     def _send_ack(self, tm_node: int, txn_id: int) -> None:
         st = self.owner.store
-        st.network.send(
+        self.owner.send(
             self.node_id,
             tm_node,
             st.sizes.ack,

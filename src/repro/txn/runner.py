@@ -16,7 +16,7 @@ anomalies, and commit-latency percentiles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -267,6 +267,7 @@ def deploy_and_run_txn(
     target_throughput: Optional[float] = None,
     failure_script: Optional[Callable[[FailureInjector], Any]] = None,
     txn_config: Optional[TxnConfig] = None,
+    commit_protocol: Optional[str] = None,
     obs: Optional[ObsConfig] = None,
 ) -> TxnRunOutcome:
     """One full transactional experiment run on a fresh deployment.
@@ -275,11 +276,17 @@ def deploy_and_run_txn(
     build the platform, attach the policy, wrap the store in a
     :class:`TransactionalStore`, optionally schedule a failure script,
     run the transactional workload with warmup, and bill the measurement
-    phase. An :class:`ObsConfig` additionally attaches a
-    :class:`RunObserver` wired into the 2PC phase hooks.
+    phase. ``commit_protocol`` (when given) overrides the protocol of
+    ``txn_config`` -- the knob scenario sweeps and the CLI turn without
+    rebuilding the whole config. An :class:`ObsConfig` additionally
+    attaches a :class:`RunObserver` wired into the commit phase hooks.
     """
     sim, store = platform.build(seed=seed)
     policy = policy_factory(store)
+    if commit_protocol is not None:
+        txn_config = replace(
+            txn_config or TxnConfig(), commit_protocol=str(commit_protocol)
+        )
     tstore = TransactionalStore(store, policy=policy, config=txn_config)
     biller = Biller(store, platform.prices, spec.data_size_bytes())
     if failure_script is not None:

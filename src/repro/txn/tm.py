@@ -1,24 +1,45 @@
-"""The transaction-manager (coordinator-side) state machine of 2PC.
+"""The transaction-manager (coordinator-side) state machines.
 
 One :class:`TransactionManager` per node; a transaction is managed by the
-TM of the node that coordinated it. Presumed abort, as in the classic
-R* protocol:
+TM of the node that coordinated it. The manager runs whichever protocol
+``TxnConfig.commit_protocol`` selects:
+
+**Presumed-abort 2PC** (``2pc``, ``2pc-coop``), as in the classic R*
+protocol:
 
 1. ``begin_commit`` assigns write versions, logs ``tm-begin`` (with the
    participant list -- the recovery pass needs it), and sends PREPARE to
-   every replica of every written key;
+   every replica of every written key; the prepare payload carries the
+   co-participant list so prepared nodes can run cooperative termination;
 2. all-YES votes force-log ``tm-commit`` -- the transaction's commit point
    -- after which the client is answered and COMMIT fans out; any NO vote
    or a prepare timeout logs ``tm-abort`` and fans out ABORT;
 3. decisions are re-sent on a timer until every participant acknowledges,
    then ``tm-end`` closes the round.
 
-**Crash/recovery** -- a TM crash wipes the in-flight table. Recovery scans
-the WAL for ``tm-begin`` without ``tm-end``: a logged ``tm-commit`` is
-re-driven forward (resend COMMIT until acked); an undecided round is
+**3PC** (``3pc``) inserts a pre-commit barrier between vote collection
+and the commit point: all-YES votes log ``tm-precommit`` and fan out
+PRE-COMMIT; the TM force-logs ``tm-commit`` and proceeds as above once
+every participant acknowledged the pre-commit -- or when the ack window
+(``prepare_timeout``) closes with a straggler missing, because once
+``tm-precommit`` is logged the round can never abort: a crashed
+participant cannot change the outcome and learns COMMIT from its
+decision query on recovery. That same invariant lets blocked
+participants drive themselves to commit when they hold a pre-commit
+record and the TM is gone.
+
+**Crash/recovery** -- a TM crash wipes the in-flight table, *including the
+acks already collected*. Recovery scans the WAL for ``tm-begin`` without
+``tm-end`` and resumes each round where the log proves it stood: a logged
+``tm-commit`` is re-driven forward (resend COMMIT and collect a fresh ack
+set -- participants that already decided re-ack immediately -- until
+``tm-end`` is durable); a logged ``tm-precommit`` without ``tm-commit``
+re-drives the pre-commit barrier forward to commit; an undecided round is
 resolved to abort (presumed abort -- no participant can have received a
 commit) and driven to ``tm-end`` the same way. Participants polling an
-unknown transaction get an abort reply for the same reason.
+unknown transaction get an abort reply for the same reason, and polls for
+a round still in flight get an explicit "working" reply (proof of TM
+life, resetting the poller's termination countdown).
 
 Everything is deterministic: participants are contacted in sorted node
 order, retries iterate sorted un-acked sets, and all timing flows from
@@ -35,6 +56,7 @@ from repro.txn.wal import (
     REC_TM_BEGIN,
     REC_TM_COMMIT,
     REC_TM_END,
+    REC_TM_PRECOMMIT,
     WriteAheadLog,
 )
 
@@ -54,6 +76,8 @@ class _TmTxn:
         "writes_by_key",
         "votes",
         "acks",
+        "precommit_acks",
+        "precommitted",
         "decision",
         "timeout_event",
         "retry_event",
@@ -67,6 +91,8 @@ class _TmTxn:
         self.writes_by_key: Dict[str, Version] = {}
         self.votes: Dict[int, bool] = {}
         self.acks: Set[int] = set()
+        self.precommit_acks: Set[int] = set()
+        self.precommitted = False
         self.decision: Optional[str] = None  # None until decided
         self.timeout_event: Any = None
         self.retry_event: Any = None
@@ -74,7 +100,7 @@ class _TmTxn:
 
 
 class TransactionManager:
-    """Per-node presumed-abort 2PC coordinator."""
+    """Per-node atomic-commit coordinator (2PC or 3PC)."""
 
     def __init__(self, owner: "TransactionalStore", node_id: int, wal: WriteAheadLog):
         self.owner = owner
@@ -95,10 +121,13 @@ class TransactionManager:
     def _sim(self):
         return self.owner.store.sim
 
+    def _three_phase(self) -> bool:
+        return self.owner.config.commit_protocol == "3pc"
+
     # -- the commit round ---------------------------------------------------------
 
     def begin_commit(self, txn: "Transaction") -> None:
-        """Run 2PC for ``txn``'s buffered writes (versions assigned here)."""
+        """Run the commit protocol for ``txn``'s buffered writes."""
         st = self.owner.store
         sim = self._sim()
         now = sim.now
@@ -145,7 +174,7 @@ class TransactionManager:
             payload = st.sizes.request_overhead + sum(
                 v.size for v in node_writes.values()
             )
-            st.network.send(
+            self.owner.send(
                 self.node_id,
                 r,
                 payload,
@@ -154,6 +183,7 @@ class TransactionManager:
                 self.node_id,
                 node_writes,
                 read_versions,
+                participants,
             )
         t.timeout_event = sim.schedule(
             self.owner.config.prepare_timeout, self._on_prepare_timeout, txn.txn_id
@@ -164,19 +194,107 @@ class TransactionManager:
         if not self._node().up:
             return
         t = self._active.get(txn_id)
-        if t is None or t.decision is not None:
+        if t is None or t.decision is not None or t.precommitted:
             return  # decided already (timeout or earlier NO); late vote
         t.votes[node_id] = vote
         if not vote:
             self._decide(t, commit=False, reason="conflict")
         elif len(t.votes) == len(t.participants) and all(t.votes.values()):
-            self._decide(t, commit=True)
+            if self._three_phase():
+                self._precommit(t)
+            else:
+                self._decide(t, commit=True)
 
     def _on_prepare_timeout(self, txn_id: int) -> None:
         t = self._active.get(txn_id)
         if t is None or t.decision is not None or not self._node().up:
             return
+        if t.precommitted:
+            return  # pragma: no cover - timeout is canceled at pre-commit
         self._decide(t, commit=False, reason="timeout")
+
+    # -- the 3PC pre-commit barrier -----------------------------------------------
+
+    def _precommit(self, t: _TmTxn) -> None:
+        """All voted YES under 3PC: log the barrier and fan out PRE-COMMIT."""
+        sim = self._sim()
+        t.precommitted = True
+        if t.timeout_event is not None:
+            t.timeout_event.cancel()
+            t.timeout_event = None
+        self.wal.append(REC_TM_PRECOMMIT, t.txn_id, sim.now)
+        obs = self.owner.obs
+        if obs is not None:
+            obs.on_txn_phase(
+                t.txn_id, "precommit", sim.now, node=self.node_id,
+                participants=len(t.participants),
+            )
+        self._send_precommits(t)
+        t.retry_event = sim.schedule(
+            self.owner.config.retry_interval, self._retry_precommit, t.txn_id
+        )
+        t.timeout_event = sim.schedule(
+            self.owner.config.prepare_timeout, self._on_precommit_timeout, t.txn_id
+        )
+
+    def _send_precommits(self, t: _TmTxn) -> None:
+        st = self.owner.store
+        for r in t.participants:
+            if r in t.precommit_acks:
+                continue
+            self.owner.send(
+                self.node_id,
+                r,
+                st.sizes.digest,
+                self.owner.participants[r].on_precommit,
+                t.txn_id,
+                self.node_id,
+            )
+
+    def _retry_precommit(self, txn_id: int) -> None:
+        t = self._active.get(txn_id)
+        if t is None or not t.precommitted or t.decision is not None:
+            return
+        if self._node().up:
+            self._send_precommits(t)
+        t.retry_event = self._sim().schedule(
+            self.owner.config.retry_interval, self._retry_precommit, txn_id
+        )
+
+    def _on_precommit_timeout(self, txn_id: int) -> None:
+        """Ack window closed with a participant missing: commit anyway.
+
+        A logged ``tm-precommit`` means the round can never abort, so a
+        crashed participant cannot change the outcome -- it learns COMMIT
+        from its decision query on recovery. Deciding now unblocks every
+        live pre-committed participant instead of holding their locks for
+        the straggler's whole downtime.
+        """
+        t = self._active.get(txn_id)
+        if t is None or not t.precommitted or t.decision is not None:
+            return
+        if not self._node().up:
+            return
+        if t.retry_event is not None:
+            t.retry_event.cancel()
+            t.retry_event = None
+        self._decide(t, commit=True)
+
+    def on_precommit_ack(self, txn_id: int, node_id: int) -> None:
+        """A participant acknowledged the 3PC pre-commit."""
+        if not self._node().up:
+            return
+        t = self._active.get(txn_id)
+        if t is None or not t.precommitted or t.decision is not None:
+            return
+        t.precommit_acks.add(node_id)
+        if len(t.precommit_acks) == len(t.participants):
+            if t.retry_event is not None:
+                t.retry_event.cancel()
+                t.retry_event = None
+            self._decide(t, commit=True)
+
+    # -- the decision point -------------------------------------------------------
 
     def _decide(self, t: _TmTxn, commit: bool, reason: Optional[str] = None) -> None:
         """The decision point: force-log, answer the client, fan out."""
@@ -226,7 +344,7 @@ class TransactionManager:
         for r in t.participants:
             if r in t.acks:
                 continue
-            st.network.send(
+            self.owner.send(
                 self.node_id,
                 r,
                 st.sizes.digest,
@@ -270,13 +388,24 @@ class TransactionManager:
         """A prepared participant asks for the verdict (presumed abort)."""
         if not self._node().up:
             return
+        st = self.owner.store
         decision = self.wal.tm_decision(txn_id)
         if decision is None:
             if txn_id in self._active:
-                return  # still collecting votes; the participant polls again
+                # Still collecting votes or pre-commit acks: answer with an
+                # explicit proof of life so the poller resets its backoff
+                # and never starts the termination protocol against a live
+                # TM.
+                self.owner.send(
+                    self.node_id,
+                    from_node,
+                    st.sizes.ack,
+                    self.owner.participants[from_node].on_tm_working,
+                    txn_id,
+                )
+                return
             decision = "abort"  # no knowledge of the transaction: abort
-        st = self.owner.store
-        st.network.send(
+        self.owner.send(
             self.node_id,
             from_node,
             st.sizes.digest,
@@ -298,7 +427,7 @@ class TransactionManager:
         self._active.clear()
 
     def on_recover(self) -> None:
-        """Drive every unfinished round in the WAL to ``tm-end``."""
+        """Resume every unfinished WAL round until ``tm-end`` is durable."""
         sim = self._sim()
         for rec in self.wal.tm_unfinished():
             txn_id = rec.txn_id
@@ -307,6 +436,31 @@ class TransactionManager:
             decision = self.wal.tm_decision(txn_id)
             participants = [int(p) for p in rec.data["participants"]]
             t = _TmTxn(txn_id, participants)
+            if decision is None and self.wal.tm_precommitted(txn_id):
+                # 3PC: the pre-commit barrier was logged, so the round can
+                # never abort -- re-drive the barrier forward: resend
+                # PRE-COMMIT, collect a fresh ack set (already-decided or
+                # already-pre-committed participants re-ack immediately),
+                # then commit.
+                t.precommitted = True
+                self.recovery_resolved += 1
+                obs = self.owner.obs
+                if obs is not None:
+                    obs.on_txn_phase(
+                        txn_id, "recover", sim.now, node=self.node_id,
+                        outcome="precommit",
+                    )
+                self._active[txn_id] = t
+                self._send_precommits(t)
+                t.retry_event = sim.schedule(
+                    self.owner.config.retry_interval, self._retry_precommit, txn_id
+                )
+                t.timeout_event = sim.schedule(
+                    self.owner.config.prepare_timeout,
+                    self._on_precommit_timeout,
+                    txn_id,
+                )
+                continue
             if decision is None:
                 # Crashed before deciding: no participant can hold a commit,
                 # so the round resolves to abort (the presumed-abort rule).
@@ -322,6 +476,9 @@ class TransactionManager:
                 obs.on_txn_phase(
                     txn_id, "recover", sim.now, node=self.node_id, outcome=t.decision
                 )
+            # Ack collection resumes from zero -- the pre-crash ack set was
+            # volatile -- and runs until every participant (re-)acks and
+            # ``tm-end`` finally lands in the log.
             self._active[txn_id] = t
             self._send_decisions(t)
             t.retry_event = sim.schedule(

@@ -94,6 +94,30 @@ class TestMain:
         assert by_name["txn-shootout"]["kind"] == "txn"
         assert by_name["elastic-flash-crowd"]["kind"] == "elastic"
 
+    def test_scenarios_json_carries_commit_protocol(self, capsys):
+        import json
+
+        assert main(["scenarios", "--json"]) == 0
+        by_name = {e["name"]: e for e in json.loads(capsys.readouterr().out)}
+        assert by_name["txn-crash-storm"]["commit_protocol"] == "2pc"
+        assert by_name["txn-protocol-shootout"]["commit_protocol"] == "2pc"
+        # non-txn scenarios carry no protocol
+        assert by_name["geo-replication"]["commit_protocol"] is None
+
+    def test_txn_protocol_flag_runs(self, capsys):
+        assert main(["txn", "--ops", "60", "--policy", "harmony",
+                     "--protocol", "2pc-coop", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "2PC-coop over two EC2 AZs" in out
+
+    def test_txn_unknown_protocol_is_clean_error(self, capsys):
+        assert main(["txn", "--ops", "60", "--policy", "harmony",
+                     "--protocol", "4pc"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "4pc" in err
+        assert "2pc-coop" in err  # the message names the valid choices
+
     def test_scenarios_json_carries_client_mode_and_scale(self, capsys):
         import json
 

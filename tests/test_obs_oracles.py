@@ -154,15 +154,49 @@ class TestInDoubtDwellOracle:
         engine.on_tick(2.0, 0, 0)
         assert sink == []
 
-    def test_recovery_keeps_earliest_prepare_time(self):
-        # A crashed participant re-registers from its WAL with the original
-        # prepare time; the dwell clock must span the crash window.
+    def test_duplicate_registration_keeps_earliest_prepare_time(self):
+        # Re-registering a pair while the node stays up keeps the original
+        # prepare time: the dwell clock measures the full live wait.
         engine, sink = _engine(in_doubt_dwell=1.0)
         engine.on_txn_prepared(2, 9, 0.1)
-        engine.on_txn_prepared(2, 9, 0.9)  # recovery replay, later timestamp
+        engine.on_txn_prepared(2, 9, 0.9)  # duplicate, later timestamp
         engine.on_tick(1.2, 0, 0)
         (start,) = sink
         assert start["waited"] == pytest.approx(1.1)
+
+    def test_crashed_node_is_dead_not_blocked(self):
+        # A pair on a down node is dropped at the tick (dead, not blocked);
+        # recovery re-registers at the recovery instant, restarting the
+        # clock, so only live dwell counts against the budget.
+        nodes = [_StubNode(0), _StubNode(1)]
+        engine, sink = _engine(_StubStore(nodes=nodes), in_doubt_dwell=1.0)
+        def dwell():
+            return [r for r in sink if r["oracle"] == "in-doubt-dwell"]
+        engine.on_txn_prepared(1, 7, 0.0)
+        nodes[1].up = False
+        engine.on_tick(5.0, 0, 0)
+        assert dwell() == []  # down the whole dwell: never flagged
+        nodes[1].up = True
+        engine.on_txn_prepared(1, 7, 5.0)  # recovery replay at ``now``
+        engine.on_tick(5.5, 0, 0)
+        assert dwell() == []  # only 0.5s of live dwell so far
+        engine.on_tick(6.2, 0, 0)
+        (start,) = dwell()
+        assert start["phase"] == "start"
+        assert start["waited"] == pytest.approx(1.2)
+
+    def test_open_dwell_closes_when_the_node_crashes(self):
+        nodes = [_StubNode(0), _StubNode(1)]
+        engine, sink = _engine(_StubStore(nodes=nodes), in_doubt_dwell=0.5)
+        def dwell():
+            return [r for r in sink if r["oracle"] == "in-doubt-dwell"]
+        engine.on_txn_prepared(1, 3, 0.0)
+        engine.on_tick(1.0, 0, 0)
+        assert dwell()[-1]["phase"] == "start"
+        nodes[1].up = False
+        engine.on_tick(1.5, 0, 0)
+        assert dwell()[-1]["phase"] == "end"
+        assert dwell()[-1]["crashed"] is True
 
     def test_finish_marks_still_blocked_txns(self):
         engine, sink = _engine(in_doubt_dwell=0.1)

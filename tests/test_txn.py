@@ -601,3 +601,40 @@ class TestTxnScenarios:
         assert serial.to_json() == parallel.to_json()
         assert serial.to_csv() == parallel.to_csv()
         assert all("txn" in row for row in serial.rows)
+
+    def test_protocol_shootout_sweep_byte_identical_across_jobs(self):
+        from repro.experiments.sweep import SweepRunner, plan_sweep
+
+        # The capstone table: all three commit protocols through the same
+        # parameter-scripted crash storm, byte-identical whatever --jobs.
+        plan = plan_sweep(
+            scenario_names=["txn-protocol-shootout"],
+            grid={
+                "commit_protocol": ["2pc", "2pc-coop", "3pc"],
+                "crash_start": [0.05],
+                "crash_interval": [0.1],
+                "downtime": [0.2],
+            },
+            root_seed=7,
+            ops=60,
+        )
+        serial = SweepRunner(jobs=1).run(plan)
+        parallel = SweepRunner(jobs=2).run(plan)
+        assert serial.to_json() == parallel.to_json()
+        assert serial.to_csv() == parallel.to_csv()
+        assert sorted(r["txn"]["commit_protocol"] for r in serial.rows) == [
+            "2pc", "2pc-coop", "3pc",
+        ]
+        # Every protocol's row carries the shootout metrics.
+        for row in serial.rows:
+            t = row["txn"]
+            assert t["msgs"] > 0 and t["msg_bytes"] > 0
+            assert t["blocked_time"] >= 0.0
+        header = serial.to_csv().splitlines()[0]
+        for col in (
+            "txn_commit_protocol",
+            "txn_blocked_time",
+            "txn_msgs",
+            "txn_msg_bytes",
+        ):
+            assert col in header

@@ -9,8 +9,13 @@ The tests sweep the crash instant across the whole commit window (before
 the prepare arrives, while prepared, after the decision, during the ack
 round) for both a participant and the transaction manager, then assert
 the all-or-nothing invariant on the settled cluster state and on actual
-reads at every consistency level. A final test pins down that recovery
-ordering itself is deterministic (byte-identical WAL streams).
+reads at every consistency level -- for every commit protocol. The
+cooperative-termination tests additionally kill the TM *permanently* and
+require every live prepared participant to unblock without it, inside
+the bound the deterministic backoff schedule implies. A final set pins
+down that recovery ordering itself is deterministic (byte-identical WAL
+streams) and that the WAL's incremental pending sets match their
+full-scan specification at every settle point.
 """
 
 from __future__ import annotations
@@ -22,12 +27,24 @@ from repro.cluster.store import ReplicatedStore, StoreConfig
 from repro.net.latency import FixedLatency
 from repro.net.topology import Datacenter, LinkClass, Topology
 from repro.simcore.simulator import Simulator
-from repro.txn.api import TransactionalStore, TxnConfig
+from repro.txn.api import PROTOCOLS, TransactionalStore, TxnConfig
 
-#: Fast protocol clocks so every window closes within simulated seconds.
-FAST = TxnConfig(
-    prepare_timeout=0.05, client_timeout=0.2, retry_interval=0.01, status_interval=0.01
-)
+
+def fast_config(protocol: str = "2pc") -> TxnConfig:
+    """Fast protocol clocks so every window closes within simulated seconds."""
+    return TxnConfig(
+        prepare_timeout=0.05,
+        client_timeout=0.2,
+        retry_interval=0.01,
+        status_interval=0.01,
+        status_backoff=2.0,
+        status_interval_max=0.05,
+        termination_after=2,
+        commit_protocol=protocol,
+    )
+
+
+FAST = fast_config()
 
 #: With FixedLatency(0.0005) the uncontended commit timeline is:
 #: prepare arrives +0.5 ms, votes land +1 ms (decision), commit messages
@@ -38,7 +55,7 @@ CRASH_TIMES = [
 ]
 
 
-def build():
+def build(config: TxnConfig = FAST):
     topo = Topology(
         [Datacenter("dc", "r")],
         [5],
@@ -50,8 +67,17 @@ def build():
         strategy=SimpleStrategy(rf=3),
         config=StoreConfig(seed=2, read_repair_chance=0.0),
     )
-    tstore = TransactionalStore(store, config=FAST)
+    tstore = TransactionalStore(store, config=config)
     return store, tstore
+
+
+def assert_wal_sets_match_scan(tstore):
+    """The incremental pending sets equal their full-scan specification."""
+    for w in tstore.wals:
+        assert w.in_doubt() == w.in_doubt_scan()
+        assert [r.lsn for r in w.tm_unfinished()] == [
+            r.lsn for r in w.tm_unfinished_scan()
+        ]
 
 
 def txn_versions_present(store, tstore, keys):
@@ -89,12 +115,14 @@ def assert_atomic(store, tstore, keys, outcomes):
         assert len(set(got)) == 1, f"level {level} sees a partial txn: {got}"
         levels_seen.add(got[0])
     assert len(levels_seen) == 1  # all levels agree with the settled state
+    assert_wal_sets_match_scan(tstore)
     return all(flags)
 
 
-def run_scripted_txn(crash_node, crash_at, recover_after=0.05):
+def run_scripted_txn(crash_node, crash_at, recover_after=0.05, config=FAST,
+                     recover=True):
     """One scripted two-key transaction with a crash injected mid-window."""
-    store, tstore = build()
+    store, tstore = build(config)
     keys = ["user0", "user1"]
     store.preload(keys, value_size=10)
     outcomes = []
@@ -108,9 +136,59 @@ def run_scripted_txn(crash_node, crash_at, recover_after=0.05):
 
     store.sim.schedule(0.0, go)
     store.sim.schedule_at(crash_at, store.on_node_crash, crash_node)
-    store.sim.schedule_at(crash_at + recover_after, store.on_node_recover, crash_node)
+    if recover:
+        store.sim.schedule_at(
+            crash_at + recover_after, store.on_node_recover, crash_node
+        )
     store.sim.run(until=5.0)
     return store, tstore, keys, outcomes
+
+
+def run_write_txn(crash_node, crash_at, config=FAST, recover=True,
+                  recover_after=0.05, extra_crash=None):
+    """A write-only transaction: the commit fan-out starts at t=0 on node 1.
+
+    Unlike :func:`run_scripted_txn` there are no reads to wait out, so the
+    TM is pinned to node 1 *before* any crash fires -- crashing node 1
+    mid-window really kills the coordinator of an in-flight round
+    (`_start_commit` would otherwise re-route to a live node). Timeline
+    with 0.5 ms links: prepares land +0.5 ms, votes +1 ms (= the 2PC
+    decision point), decision lands +1.5 ms, acks +2 ms; 3PC inserts its
+    pre-commit round, shifting decision/acks one RTT later.
+    """
+    store, tstore = build(config)
+    keys = ["user0", "user1"]
+    store.preload(keys, value_size=10)
+    outcomes = []
+
+    def go():
+        txn = tstore.begin(coordinator=1)
+        for key in keys:
+            txn.write(key, 77)
+        txn.commit(outcomes.append)
+
+    store.sim.schedule(0.0, go)
+    store.sim.schedule_at(crash_at, store.on_node_crash, crash_node)
+    if extra_crash is not None:
+        store.sim.schedule_at(crash_at, store.on_node_crash, extra_crash)
+    if recover:
+        store.sim.schedule_at(
+            crash_at + recover_after, store.on_node_recover, crash_node
+        )
+    store.sim.run(until=5.0)
+    return store, tstore, keys, outcomes
+
+
+def live_txn_flags(store, keys):
+    """Per (key, live replica): does it hold the transaction's version?"""
+    flags = []
+    for key in keys:
+        for r in store.strategy.replicas(key, store.ring, store.topology):
+            if not store.nodes[r].up:
+                continue
+            v = store.nodes[r].data.get(key)
+            flags.append(v is not None and v.size == 77)
+    return flags
 
 
 def participant_nodes():
@@ -220,6 +298,141 @@ class TestTmCrashWindow:
         assert outcomes[0].reason == "tm-crash"
 
 
+class TestProtocolCrashWindows:
+    """The atomicity sweep holds for every protocol, both crash sides."""
+
+    @pytest.mark.parametrize("crash_at", CRASH_TIMES + [0.0040, 0.0045])
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_tm_crash_recover_atomic(self, crash_at, protocol):
+        store, tstore, keys, outcomes = run_scripted_txn(
+            1, crash_at, config=fast_config(protocol)
+        )
+        applied = assert_atomic(store, tstore, keys, outcomes)
+        if outcomes and outcomes[0].status == "committed":
+            assert applied
+
+    @pytest.mark.parametrize("crash_at", CRASH_TIMES)
+    @pytest.mark.parametrize("protocol", ["2pc-coop", "3pc"])
+    def test_participant_crash_recover_atomic(self, crash_at, protocol):
+        store, tstore, keys, outcomes = run_scripted_txn(
+            PARTICIPANTS[0], crash_at, config=fast_config(protocol)
+        )
+        assert_atomic(store, tstore, keys, outcomes)
+
+
+class TestCooperativeTermination:
+    """The TM dies for good: no prepared participant may stay blocked."""
+
+    @pytest.mark.parametrize("crash_at", CRASH_TIMES + [0.0040, 0.0045])
+    @pytest.mark.parametrize("protocol", ["2pc-coop", "3pc"])
+    def test_tm_dead_forever_every_participant_unblocks(self, crash_at, protocol):
+        store, tstore, keys, _ = run_write_txn(
+            1, crash_at, config=fast_config(protocol), recover=False
+        )
+        live = [p for p in tstore.participants if store.nodes[p.node_id].up]
+        # Termination leaves no live participant wedged, with no TM ever
+        # coming back: nothing prepared, no lingering prepare locks.
+        assert all(not p.prepared and not p.locks for p in live)
+        # Live replicas agree atomically on the round's outcome.
+        flags = live_txn_flags(store, keys)
+        assert all(flags) or not any(flags)
+        assert_wal_sets_match_scan(tstore)
+
+    def test_plain_2pc_blocks_forever_without_tm(self):
+        # The contrast case the shootout quantifies: blocking 2PC leaves
+        # prepared participants wedged when the TM never returns.
+        store, tstore, keys, _ = run_write_txn(
+            1, 0.0007, config=fast_config("2pc"), recover=False
+        )
+        live = [p for p in tstore.participants if store.nodes[p.node_id].up]
+        assert any(p.prepared for p in live)
+        assert tstore.blocked_participant_time() > 1.0  # wedged for the run
+
+    def test_undecided_round_terminates_to_abort(self):
+        # Crash after the prepares land but before the votes return: the
+        # TM never decided, so the unique safe outcome is abort -- reached
+        # cooperatively, counted, and within the backoff-schedule bound.
+        config = fast_config("2pc-coop")
+        store, tstore, keys, _ = run_write_txn(
+            1, 0.0007, config=config, recover=False
+        )
+        live = [p for p in tstore.participants if store.nodes[p.node_id].up]
+        assert not any(live_txn_flags(store, keys))
+        resolved = [p for p in live if p.termination_resolved]
+        assert resolved
+        # Dwell bound: two polls of the capped jittered schedule bring the
+        # termination round, plus one reply window, plus message slack.
+        cap = config.status_interval_max * (1.0 + config.status_jitter)
+        bound = config.termination_after * cap + config.prepare_timeout + 0.01
+        assert all(p.blocked_time <= bound for p in resolved)
+        assert tstore.blocked_participant_time() <= bound * len(live)
+
+    def test_3pc_precommitted_round_terminates_to_commit(self):
+        # Crash the TM right after the pre-commits are delivered: every
+        # live participant holds a pre-commit record, so the round drives
+        # itself to COMMIT without the TM (the 3PC non-blocking rule).
+        store, tstore, keys, _ = run_write_txn(
+            1, 0.0017, config=fast_config("3pc"), recover=False
+        )
+        live = [p for p in tstore.participants if store.nodes[p.node_id].up]
+        assert all(not p.prepared and not p.locks for p in live)
+        flags = live_txn_flags(store, keys)
+        assert flags and all(flags)
+        assert sum(p.termination_resolved for p in live) >= 1
+
+    def test_3pc_tm_recovery_resumes_precommit_barrier(self):
+        # With a *recovering* TM the pre-committed round must finish as
+        # COMMIT through the TM's own WAL replay (tm-precommit means the
+        # round can never abort again).
+        store, tstore, keys, outcomes = run_write_txn(
+            1, 0.0017, config=fast_config("3pc")
+        )
+        assert assert_atomic(store, tstore, keys, outcomes)
+        assert [o.status for o in outcomes] == ["committed"]
+
+    def test_dead_peer_round_concludes_by_timeout(self):
+        # TM *and* one participant die together: the survivors' termination
+        # round can never hear from the dead peer, so the reply-window
+        # timeout must conclude it (missing peers count as uncertain).
+        dead_peer = next(p for p in PARTICIPANTS if p != 1)
+        store, tstore, keys, _ = run_write_txn(
+            1, 0.0007, config=fast_config("2pc-coop"), recover=False,
+            extra_crash=dead_peer,
+        )
+        live = [p for p in tstore.participants if store.nodes[p.node_id].up]
+        assert all(not p.prepared and not p.locks for p in live)
+        assert not any(live_txn_flags(store, keys))
+        assert any(p.termination_resolved for p in live)
+
+
+class TestPollBackoff:
+    def test_poll_delay_deterministic_capped_and_jittered(self):
+        cfg = fast_config()
+        delays = [cfg.poll_delay(7, 3, 11, a) for a in range(8)]
+        assert delays == [cfg.poll_delay(7, 3, 11, a) for a in range(8)]
+        for attempt, d in enumerate(delays):
+            base = min(
+                cfg.status_interval * cfg.status_backoff**attempt,
+                cfg.status_interval_max,
+            )
+            assert base <= d <= base * (1.0 + cfg.status_jitter)
+        # Different pollers decorrelate (no synchronized query bursts).
+        assert cfg.poll_delay(7, 3, 11, 1) != cfg.poll_delay(7, 4, 11, 1)
+        assert cfg.poll_delay(7, 3, 11, 1) != cfg.poll_delay(7, 3, 12, 1)
+        assert cfg.poll_delay(7, 3, 11, 1) != cfg.poll_delay(8, 3, 11, 1)
+
+    def test_zero_jitter_is_the_pure_exponential(self):
+        cfg = TxnConfig(
+            status_interval=0.1,
+            status_backoff=2.0,
+            status_interval_max=0.4,
+            status_jitter=0.0,
+        )
+        assert [cfg.poll_delay(1, 1, 1, a) for a in range(4)] == [
+            0.1, 0.2, 0.4, 0.4,
+        ]
+
+
 class TestRecoveryDeterminism:
     def wal_fingerprint(self, tstore):
         return [
@@ -234,4 +447,14 @@ class TestRecoveryDeterminism:
         b = run_scripted_txn(PARTICIPANTS[0], crash_at)
         assert self.wal_fingerprint(a[1]) == self.wal_fingerprint(b[1])
         assert [o.status for o in a[3]] == [o.status for o in b[3]]
+        assert a[1].txn_summary() == b[1].txn_summary()
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_termination_runs_byte_identical(self, protocol):
+        # Backoff jitter is derived, not drawn: two identical runs through
+        # polling *and* termination produce byte-identical WAL streams.
+        cfg = fast_config(protocol)
+        a = run_write_txn(1, 0.0007, config=cfg, recover=False)
+        b = run_write_txn(1, 0.0007, config=cfg, recover=False)
+        assert self.wal_fingerprint(a[1]) == self.wal_fingerprint(b[1])
         assert a[1].txn_summary() == b[1].txn_summary()
