@@ -170,8 +170,24 @@ class _InDoubtDwellOracle:
         self._prepared: Dict[Tuple[int, int], float] = {}
         self._open: Dict[Tuple[int, int], float] = {}
 
-    def on_prepared(self, node_id: int, txn_id: int, t: float) -> None:
+    def on_prepared(
+        self, node_id: int, txn_id: int, t: float, restart: bool = False
+    ) -> None:
         key = (node_id, txn_id)
+        if restart:
+            # Recovery re-registration: the node just came back from a
+            # crash, so the dwell clock restarts at ``t`` even when the
+            # whole crash+recovery fell between two sampler ticks (the
+            # tick-granularity crash sweep below would otherwise never
+            # have dropped the pre-crash start time). Downtime is dead,
+            # not blocked; an anomaly left open across the crash closes.
+            if key in self._open:
+                del self._open[key]
+                self._emit(
+                    self.name, "end", t, node=node_id, txn=txn_id, crashed=True
+                )
+            self._prepared[key] = t
+            return
         prev = self._prepared.get(key)
         # Duplicate registrations while up keep the earliest time.
         if prev is None or t < prev:
@@ -506,8 +522,10 @@ class AnomalyOracles:
         if kind == "migration-start":
             self.rebalance.on_migration_start(t)
 
-    def on_txn_prepared(self, node_id: int, txn_id: int, t: float) -> None:
-        self.in_doubt.on_prepared(node_id, txn_id, t)
+    def on_txn_prepared(
+        self, node_id: int, txn_id: int, t: float, restart: bool = False
+    ) -> None:
+        self.in_doubt.on_prepared(node_id, txn_id, t, restart=restart)
 
     def on_txn_doubt_resolved(self, node_id: int, txn_id: int, t: float) -> None:
         self.in_doubt.on_resolved(node_id, txn_id, t)

@@ -361,10 +361,16 @@ class RunObserver:
             if self._open_txn_phase.pop(txn_id, None) == "resolve":
                 tracer.end("txn", span_id, "resolve", t)
 
-    def on_txn_prepared(self, node_id: int, txn_id: int, t: float) -> None:
-        """A participant voted YES and holds prepared (in-doubt) state."""
+    def on_txn_prepared(
+        self, node_id: int, txn_id: int, t: float, restart: bool = False
+    ) -> None:
+        """A participant voted YES and holds prepared (in-doubt) state.
+
+        ``restart=True`` marks a recovery re-registration: the dwell clock
+        restarts at ``t`` even if the crash fell between sampler ticks.
+        """
         if self.oracles is not None:
-            self.oracles.on_txn_prepared(node_id, txn_id, t)
+            self.oracles.on_txn_prepared(node_id, txn_id, t, restart=restart)
 
     def on_txn_doubt_resolved(self, node_id: int, txn_id: int, t: float) -> None:
         """A participant's prepared state was resolved by a decision."""

@@ -563,23 +563,22 @@ class TransactionalStore:
         """Total prepared-without-decision dwell across all participants.
 
         The sum, over every (participant, transaction) pair, of the
-        simulated seconds between the WAL ``prepare`` record and the
-        decision that resolved it -- still-unresolved entries of *live*
-        nodes accrue up to the current clock (a crashed node is dead, not
-        blocked; its dwell re-enters on recovery, backdated to the durable
-        prepare time). Dwell starts at the *durable* prepare time, so it
-        spans crash windows; this is the same quantity the in-doubt-dwell
-        oracle watches, integrated exactly instead of per sampler tick.
+        simulated seconds the pair spent prepared-without-decision **while
+        the node was up** -- still-unresolved entries of live nodes accrue
+        up to the current clock. Crash downtime is excluded: a crashed
+        participant is dead, not blocked, and its dwell clock restarts at
+        the recovery instant -- the same semantics the in-doubt-dwell
+        oracle and the ``blocked_txn_time`` SLO apply, integrated exactly
+        instead of per sampler tick (a pre-crash live stretch still
+        counts here; the oracle's budget only watches the current one).
         """
         now = self.store.sim.now
         open_dwell = 0.0
-        for wal in self.wals:
-            if not self.store.nodes[wal.node_id].up:
-                continue
-            for txn_id in wal.in_doubt():
-                rec = wal.prepare_record(txn_id)
-                if rec is not None:
-                    open_dwell += now - rec.time
+        for p in self.participants:
+            if not self.store.nodes[p.node_id].up:
+                continue  # accrued into p.blocked_time at crash time
+            for prep in p.prepared.values():
+                open_dwell += now - prep.t_registered
         resolved = sum(p.blocked_time for p in self.participants)
         return (resolved - self._blocked_time0) + open_dwell
 
@@ -597,6 +596,14 @@ class TransactionalStore:
         Every number covers the interval since the last
         :meth:`reset_metrics` (the warmup boundary in harness runs);
         cumulative protocol counters are converted to deltas.
+
+        ``blocked_time`` is :meth:`blocked_participant_time`: the exact
+        integral of live in-doubt dwell over *every* (participant, txn)
+        pair, including the one-RTT prepared window each healthy commit
+        round has. The ``blocked_txn_time`` SLO measures something
+        stricter -- wall-clock time with any pair held past the dwell
+        oracle's budget -- so the two share the dead-not-blocked crash
+        semantics but are not the same number.
         """
         decided = self.commits + self.abort_count()
         return {

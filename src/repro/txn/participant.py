@@ -35,12 +35,19 @@ vote YES afterwards) and answers abort; a pre-committed peer answers
 pre-commit (drive to commit). When every peer answers "uncertain" -- or
 the round's reply window times out with peers silent (dead peers never
 reply; a dead peer holding a decision record would imply the fan-out
-already reached this live node) -- the round aborts unilaterally: under
-the fail-stop model a silent TM is a dead TM, and a dead TM that never
+already reached this live node) -- the round aborts unilaterally *if this
+participant has been continuously up since it voted*: under the
+fail-stop model a silent TM is a dead TM, and a dead TM that never
 logged a decision can only presumed-abort on recovery -- so abort is the
-unique safe outcome.
-(Partitions can violate this assumption; that is the classical limit of
-termination protocols and of 3PC itself, see docs/ARCHITECTURE.md.)
+unique safe outcome. A participant that crashed after voting loses that
+inference (the COMMIT fan-out may have been dropped at it while down and
+acked by peers that later died), so after recovery it never aborts
+unilaterally: it stays blocked, polling TM and peers, until an
+authoritative commit/abort/pre-commit/pledge answer arrives -- the
+classical blocking case of termination protocols.
+(Partitions can violate the fail-stop assumption too; that is the
+classical limit of termination protocols and of 3PC itself, see
+docs/ARCHITECTURE.md.)
 
 **Crash/recovery** -- a crash wipes the lock table, the prepared-state
 mirror, the poll timers and the termination bookkeeping; only the WAL
@@ -71,7 +78,15 @@ __all__ = ["TxnParticipant"]
 class _Prepared:
     """Volatile mirror of one in-doubt transaction (rebuilt from WAL)."""
 
-    __slots__ = ("txn_id", "tm_node", "writes", "co_participants", "precommitted")
+    __slots__ = (
+        "txn_id",
+        "tm_node",
+        "writes",
+        "co_participants",
+        "precommitted",
+        "recovered",
+        "t_registered",
+    )
 
     def __init__(
         self,
@@ -80,12 +95,23 @@ class _Prepared:
         writes: Dict[str, Version],
         co_participants: List[int],
         precommitted: bool = False,
+        recovered: bool = False,
+        t_registered: float = 0.0,
     ):
         self.txn_id = txn_id
         self.tm_node = tm_node
         self.writes = writes
         self.co_participants = co_participants
         self.precommitted = precommitted
+        #: True once this entry has been rebuilt from the WAL after a
+        #: crash: the node was NOT continuously up since voting YES, so
+        #: it may have missed a decision fan-out entirely -- which
+        #: forfeits the TM-silence inference (see ``_unilateral_abort``).
+        self.recovered = recovered
+        #: When this live stretch of in-doubt dwell started: the prepare
+        #: instant, or the recovery instant after a crash (downtime is
+        #: dead, not blocked -- same rule as the in-doubt-dwell oracle).
+        self.t_registered = t_registered
 
 
 class TxnParticipant:
@@ -117,8 +143,9 @@ class TxnParticipant:
         #: in-doubt entries resolved by the termination protocol (peer
         #: verdicts, pledges driving rounds dry, and unilateral aborts).
         self.termination_resolved = 0
-        #: total prepared-without-decision dwell resolved here, measured
-        #: from the durable WAL prepare time (spans crash windows).
+        #: total prepared-without-decision dwell accrued here while the
+        #: node was *up* (crash downtime is dead, not blocked -- the same
+        #: semantics as the in-doubt-dwell oracle's recovery-restart rule).
         self.blocked_time = 0.0
 
     # -- plumbing -----------------------------------------------------------------
@@ -168,7 +195,11 @@ class TxnParticipant:
             for key in writes:
                 self.locks[key] = txn_id
             self.prepared[txn_id] = _Prepared(
-                txn_id, tm_node, dict(writes), [int(c) for c in co_participants]
+                txn_id,
+                tm_node,
+                dict(writes),
+                [int(c) for c in co_participants],
+                t_registered=self._sim().now,
             )
             self._schedule_poll(txn_id)
             obs = self.owner.obs
@@ -242,9 +273,7 @@ class TxnParticipant:
             self.commits_applied += 1
         else:
             self.aborts_applied += 1
-        rec = self.wal.prepare_record(p.txn_id)
-        if rec is not None:
-            self.blocked_time += now - rec.time
+        self.blocked_time += now - p.t_registered
         for key in p.writes:
             if self.locks.get(key) == p.txn_id:
                 del self.locks[key]
@@ -274,6 +303,11 @@ class TxnParticipant:
 
     def on_crash(self) -> None:
         """Volatile state is lost; the WAL is all that survives."""
+        # Close out the live in-doubt dwell of every prepared entry: the
+        # node is dead from here until recovery, and dead is not blocked.
+        now = self._sim().now
+        for p in self.prepared.values():
+            self.blocked_time += now - p.t_registered
         for ev in self._poll_events.values():
             ev.cancel()
         self._poll_events.clear()
@@ -295,6 +329,13 @@ class TxnParticipant:
                 dict(rec.data["writes"]),
                 [int(c) for c in rec.data.get("co", ())],
                 precommitted=self.wal.precommitted(txn_id),
+                # Rebuilt from the WAL = not continuously up since voting:
+                # a decision fan-out may have been dropped at this node
+                # while it was down, so the TM-silence inference is off
+                # the table for this entry forever (sticky across any
+                # number of further crashes -- every rebuild re-sets it).
+                recovered=True,
+                t_registered=self._sim().now,
             )
             self.prepared[txn_id] = p
             for key in p.writes:
@@ -305,7 +346,11 @@ class TxnParticipant:
                 # Re-register at the recovery instant: the node was dead,
                 # not blocked, while down -- the dwell oracle's clock
                 # measures how long a *live* participant stays stuck.
-                obs.on_txn_prepared(self.node_id, txn_id, self._sim().now)
+                # ``restart=True`` overwrites the pre-crash start time even
+                # when the crash+recovery fell between two sampler ticks.
+                obs.on_txn_prepared(
+                    self.node_id, txn_id, self._sim().now, restart=True
+                )
             self._query_status(txn_id)
             self._schedule_poll(txn_id)
 
@@ -336,6 +381,11 @@ class TxnParticipant:
             and self._poll_attempts[txn_id] >= self.owner.config.termination_after
         ):
             self._terminate(txn_id)
+            if txn_id not in self.prepared:
+                # Termination resolved the transaction (3PC pre-committed
+                # self-commit or unilateral abort): ``_resolve`` already
+                # cleaned the poll state -- don't recreate it.
+                return
         self._schedule_poll(txn_id)
 
     def _query_status(self, txn_id: int) -> None:
@@ -381,7 +431,10 @@ class TxnParticipant:
         if not peers:
             # Sole participant: the sustained poll silence that brought us
             # here is itself the evidence -- a live TM always answers, and
-            # a dead TM that never logged a decision presumes abort.
+            # a dead TM that never logged a decision presumes abort. (If
+            # this entry was rebuilt after a crash the TM may well have
+            # logged a commit we never saw; ``_unilateral_abort`` keeps a
+            # recovered entry blocked.)
             self._unilateral_abort(p)
             return
         token = self._term_round.get(txn_id, 0) + 1
@@ -398,11 +451,15 @@ class TxnParticipant:
                 self.node_id,
             )
         # Backstop for dead peers (which never reply): conclude the round
-        # after a full timeout, counting non-repliers as uncertain. Safe
-        # under fail-stop with atomic log+fan-out events: a dead peer that
-        # held a commit (or pre-commit) record implies the TM's fan-out was
+        # after a full timeout, counting non-repliers as uncertain. For a
+        # participant continuously up since its vote this is safe under
+        # fail-stop with atomic log+fan-out events: a dead peer that held
+        # a commit (or pre-commit) record implies the TM's fan-out was
         # already sent, hence delivered to this live node -- contradiction
-        # with still being prepared (resp. not pre-committed) here.
+        # with still being prepared (resp. not pre-committed) here. A
+        # *recovered* participant gets no such contradiction (it may have
+        # been down for the fan-out), so ``_unilateral_abort`` keeps it
+        # blocked instead.
         cfg = self.owner.config
         window = (
             cfg.termination_timeout
@@ -421,7 +478,23 @@ class TxnParticipant:
         self._unilateral_abort(p)
 
     def _unilateral_abort(self, p: _Prepared) -> None:
-        """Every reachable party is uncertain and the TM is silent: abort."""
+        """Every reachable party is uncertain and the TM is silent: abort.
+
+        Sound only for a participant **continuously up since it voted**:
+        for such a node, TM silence plus all-uncertain/silent peers really
+        does prove no decision was ever fanned out (a commit fan-out would
+        have reached this live node). A *recovered* participant has no
+        such proof -- ``on_decision`` drops messages at a down node, so
+        the TM may have durably committed, delivered COMMIT to peers that
+        applied it and later died, and then died itself. Aborting here
+        would diverge from those committed replicas. Classical cooperative
+        termination **blocks** in that case, and so do we: the entry stays
+        prepared and keeps polling until the TM or a peer answers
+        authoritatively (TM recovery replay, a peer's WAL verdict, a
+        pre-commit, or an abort pledge).
+        """
+        if p.recovered:
+            return
         self.termination_resolved += 1
         self._resolve(p, commit=False)
         self._send_ack(p.tm_node, p.txn_id)
@@ -482,7 +555,9 @@ class TxnParticipant:
         # cannot occur): when every peer of the round is uncertain and the
         # TM has been silent the whole backoff window, the fail-stop model
         # says the TM is dead and undecided -- its own recovery would
-        # presume abort, so aborting now is the unique consistent outcome.
+        # presume abort, so aborting now is the unique consistent outcome
+        # for a participant continuously up since its vote (a recovered
+        # one stays blocked; see ``_unilateral_abort``).
         pending = self._term_uncertain.get(txn_id)
         if pending is None:
             return  # a stale reply from a superseded round

@@ -198,6 +198,33 @@ class TestInDoubtDwellOracle:
         assert dwell()[-1]["phase"] == "end"
         assert dwell()[-1]["crashed"] is True
 
+    def test_restart_between_ticks_overwrites_start_time(self):
+        # Crash + recovery entirely inside one tick interval: the tick
+        # sweep never saw the node down, so without the explicit restart
+        # flag the pre-crash start time would win (on_prepared keeps the
+        # earliest) and downtime would count as live dwell. The recovery
+        # path passes restart=True, which overwrites unconditionally.
+        engine, sink = _engine(in_doubt_dwell=1.0)
+        engine.on_txn_prepared(1, 7, 0.0)
+        engine.on_txn_prepared(1, 7, 5.0, restart=True)  # recovery replay
+        engine.on_tick(5.5, 0, 0)
+        assert sink == []  # 0.5s of live dwell, not 5.5s
+        engine.on_tick(6.2, 0, 0)
+        (start,) = sink
+        assert start["waited"] == pytest.approx(1.2)
+
+    def test_restart_closes_an_anomaly_left_open_across_the_crash(self):
+        engine, sink = _engine(in_doubt_dwell=0.5)
+        engine.on_txn_prepared(1, 3, 0.0)
+        engine.on_tick(1.0, 0, 0)
+        assert sink[-1]["phase"] == "start"
+        # Crash + recovery between ticks: the restart closes the stale
+        # open anomaly (the node was dead, not blocked) and restarts it.
+        engine.on_txn_prepared(1, 3, 1.4, restart=True)
+        assert sink[-1]["phase"] == "end"
+        assert sink[-1]["crashed"] is True
+        assert sink[-1]["t"] == 1.4
+
     def test_finish_marks_still_blocked_txns(self):
         engine, sink = _engine(in_doubt_dwell=0.1)
         engine.on_txn_prepared(1, 2, 0.0)

@@ -390,6 +390,123 @@ class TestCooperativeTermination:
         assert assert_atomic(store, tstore, keys, outcomes)
         assert [o.status for o in outcomes] == ["committed"]
 
+    @pytest.mark.parametrize("protocol", ["2pc-coop", "3pc"])
+    def test_recovered_participant_blocks_instead_of_diverging(self, protocol):
+        # The crash-overlap hole: a participant down for the COMMIT
+        # fan-out recovers into a world where the TM (which durably
+        # logged tm-commit) and every co-participant (which durably
+        # committed and applied) are dead. TM silence plus silent peers
+        # proves nothing to a *recovered* node -- unilaterally aborting
+        # here would diverge from the peers' committed replicas. It must
+        # block instead, and resolve to COMMIT once the TM returns.
+        config = fast_config(protocol)
+        store, tstore = build(config)
+        keys = ["user0", "user1"]
+        store.preload(keys, value_size=10)
+        outcomes = []
+
+        def go():  # write-only: decision +1ms (2pc) / +2ms (3pc)
+            txn = tstore.begin(coordinator=1)
+            for key in keys:
+                txn.write(key, 77)
+            txn.commit(outcomes.append)
+
+        victim = next(p for p in PARTICIPANTS if p != 1)
+        others = [p for p in PARTICIPANTS if p != victim]
+        store.sim.schedule(0.0, go)
+        # Crash the victim while prepared-without-decision: the COMMIT
+        # fan-out is dropped at it while its peers log commit and apply.
+        # (Under 3pc the victim also misses PRE-COMMIT; the TM's ack
+        # window closes at prepare_timeout=0.05 and commits anyway.)
+        store.sim.schedule_at(0.0012, store.on_node_crash, victim)
+        # Then -- commit now durable at the TM and the peers -- the TM
+        # and every co-participant die (for now, for good).
+        for node in sorted({1, *others}):
+            store.sim.schedule_at(0.06, store.on_node_crash, node)
+        store.sim.schedule_at(0.1, store.on_node_recover, victim)
+        store.sim.run(until=5.0)
+
+        assert [o.status for o in outcomes] == ["committed"]
+        # The dead peers hold durable commits...
+        assert any(
+            tstore.wals[n].decision_for(1) == "commit" for n in others
+        )
+        # ...so the recovered victim must still be blocked, not aborted.
+        p = tstore.participants[victim]
+        assert list(p.prepared) == [1]
+        assert p.wal.decision_for(1) is None
+        assert p.termination_resolved == 0
+
+        # TM recovery replays tm-commit and re-drives the decision: the
+        # blocked participant finally commits, atomically with its peers.
+        store.sim.schedule_at(5.5, store.on_node_recover, 1)
+        store.sim.run(until=8.0)
+        assert p.wal.decision_for(1) == "commit"
+        assert not p.prepared and not p.locks
+        v = store.nodes[victim].data.get("user0") or store.nodes[victim].data.get("user1")
+        assert v is not None and v.size == 77
+
+    def test_blocked_time_excludes_crash_downtime(self):
+        # blocked_participant_time counts live dwell only, matching the
+        # dwell oracle's dead-not-blocked rule: a participant that spends
+        # [1s, 3s] crashed while in doubt accrues dwell on both sides of
+        # the crash but nothing for the downtime itself.
+        store, tstore = build(fast_config("2pc"))
+        keys = ["user0", "user1"]
+        store.preload(keys, value_size=10)
+
+        def go():
+            txn = tstore.begin(coordinator=1)
+            for key in keys:
+                txn.write(key, 77)
+            txn.commit()
+
+        victim = next(p for p in PARTICIPANTS if p != 1)
+        store.sim.schedule(0.0, go)
+        # Kill the TM before the decision: everyone stays in doubt.
+        store.sim.schedule_at(0.0007, store.on_node_crash, 1)
+        store.sim.schedule_at(1.0, store.on_node_crash, victim)
+        store.sim.schedule_at(3.0, store.on_node_recover, victim)
+        store.sim.run(until=5.0)
+
+        p = tstore.participants[victim]
+        rec = p.wal.prepare_record(1)
+        # The pre-crash live stretch was banked at the crash instant...
+        assert p.blocked_time == pytest.approx(1.0 - rec.time)
+        # ...and the post-recovery stretch restarted at the recovery
+        # instant, so the open dwell excludes the 2s of downtime.
+        (prep,) = p.prepared.values()
+        assert prep.t_registered == pytest.approx(3.0)
+        assert prep.recovered
+        # Whole-store integral: every participant dwells over its live
+        # prepared stretches only -- the victim's [1s, 3s] downtime is
+        # carved out, and a participant down at the end (node 1, if it
+        # replicates a key) contributes just its banked pre-crash dwell.
+        now = store.sim.now
+        expected = 0.0
+        for q in tstore.participants:
+            r = q.wal.prepare_record(1)
+            if r is None:
+                continue
+            if q.node_id == victim:
+                expected += (1.0 - r.time) + (now - 3.0)
+            elif not store.nodes[q.node_id].up:
+                expected += max(0.0007 - r.time, 0.0)  # up until its crash
+            else:
+                expected += now - r.time
+        assert tstore.blocked_participant_time() == pytest.approx(expected)
+
+    def test_termination_leaves_no_stray_poll_state(self):
+        # _poll must not reschedule after a termination round resolved
+        # the transaction: _resolve already cleaned the poll state.
+        store, tstore, keys, _ = run_write_txn(
+            1, 0.0007, config=fast_config("2pc-coop"), recover=False
+        )
+        live = [p for p in tstore.participants if store.nodes[p.node_id].up]
+        assert all(not p.prepared for p in live)
+        assert all(not p._poll_events for p in live)
+        assert all(not p._poll_attempts for p in live)
+
     def test_dead_peer_round_concludes_by_timeout(self):
         # TM *and* one participant die together: the survivors' termination
         # round can never hear from the dead peer, so the reply-window
