@@ -8,9 +8,10 @@ a regression here means migration work is interfering with the hot path.
 """
 
 from repro.cluster.ring import TokenRing
-from repro.elastic import ElasticSpec, RebalanceConfig, deploy_and_run_elastic
+from repro.elastic import ElasticSpec, RebalanceConfig
 from repro.experiments.platforms import small_dc_platform
 from repro.experiments.runner import harmony_factory
+from repro.facade import RunSpec, run as run_spec
 
 BENCH_OPS = 3000
 
@@ -43,16 +44,20 @@ def test_streaming_scale_out(benchmark):
         cluster.store.sim.schedule_at(0.05, cluster.bootstrap_node, 0)
 
     def run():
-        return deploy_and_run_elastic(
-            small_dc_platform(),
-            harmony_factory(0.3),
-            ElasticSpec(
-                script=script,
-                rebalance=RebalanceConfig(pump_interval=0.005, attempt_timeout=0.1),
-            ),
-            ops=BENCH_OPS,
-            clients=24,
-            seed=3,
+        return run_spec(
+            RunSpec(
+                platform=small_dc_platform(),
+                policy=harmony_factory(0.3),
+                elastic=ElasticSpec(
+                    script=script,
+                    rebalance=RebalanceConfig(
+                        pump_interval=0.005, attempt_timeout=0.1
+                    ),
+                ),
+                ops=BENCH_OPS,
+                clients=24,
+                seed=3,
+            )
         )
 
     out = benchmark(run)

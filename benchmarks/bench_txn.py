@@ -10,7 +10,7 @@ rates per read-level policy), persisted like every other bench artifact.
 from repro.common.tables import Table
 from repro.experiments.platforms import ec2_harmony_platform, single_dc_platform
 from repro.experiments.runner import named_policy_factory
-from repro.txn.runner import deploy_and_run_txn
+from repro.facade import RunSpec, run as run_spec
 from repro.workload.workloads import bank_transfer_mix
 
 BENCH_TXNS = 1500
@@ -20,13 +20,15 @@ def test_txn_engine_throughput(benchmark):
     platform = single_dc_platform()
 
     def run():
-        return deploy_and_run_txn(
-            platform,
-            named_policy_factory("eventual"),
-            bank_transfer_mix(record_count=800),
-            txns=BENCH_TXNS,
-            clients=16,
-            seed=11,
+        return run_spec(
+            RunSpec(
+                platform=platform,
+                policy=named_policy_factory("eventual"),
+                txn_workload=bank_transfer_mix(record_count=800),
+                ops=BENCH_TXNS,
+                clients=16,
+                seed=11,
+            )
         )
 
     outcome = benchmark(run)
@@ -46,8 +48,15 @@ def test_txn_policy_shootout(record_table):
         ["policy", "commits", "aborts", "lost_updates", "stale_rate", "commit_p99_ms"],
     )
     for label, factory in factories:
-        outcome = deploy_and_run_txn(
-            ec2_harmony_platform(), factory, spec, txns=1200, clients=16, seed=11
+        outcome = run_spec(
+            RunSpec(
+                platform=ec2_harmony_platform(),
+                policy=factory,
+                txn_workload=spec,
+                ops=1200,
+                clients=16,
+                seed=11,
+            )
         )
         t = outcome.report.txn
         table.add_row(

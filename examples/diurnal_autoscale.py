@@ -29,7 +29,8 @@ from repro import (
     AutoscalerConfig,
     ElasticSpec,
     RebalanceConfig,
-    deploy_and_run_elastic,
+    RunSpec,
+    run,
 )
 from repro.cluster.replication import NetworkTopologyStrategy
 from repro.cluster.store import StoreConfig
@@ -80,15 +81,17 @@ DIURNAL = ElasticSpec(
 
 def run_policy(name: str):
     """One fresh elastic deployment under the named consistency policy."""
-    return deploy_and_run_elastic(
-        tight_two_az_platform(),
-        named_policy_factory(name, tolerance=0.01),
-        DIURNAL,
-        spec=flash_crowd(record_count=800, hot_set_fraction=0.02),
-        ops=6000,
-        clients=24,
-        seed=11,
-        target_throughput=700.0,
+    return run(
+        RunSpec(
+            platform=tight_two_az_platform(),
+            policy=named_policy_factory(name, tolerance=0.01),
+            elastic=DIURNAL,
+            workload=flash_crowd(record_count=800, hot_set_fraction=0.02),
+            ops=6000,
+            clients=24,
+            seed=11,
+            target_throughput=700.0,
+        )
     )
 
 

@@ -23,10 +23,20 @@ substrate they need, built from scratch:
 
 Quickstart
 ----------
->>> from repro.experiments import ec2_harmony_platform, harmony_factory, run_one
->>> report, bill = run_one(ec2_harmony_platform(), harmony_factory(0.05))
->>> report.stale_rate <= 0.05
+Every experiment goes through one front door -- describe the run with a
+:class:`RunSpec`, execute it with :func:`run`:
+
+>>> import repro
+>>> out = repro.run(repro.RunSpec(platform=repro.ec2_harmony_platform(),
+...                               policy=repro.harmony_factory(0.05),
+...                               ops=2000))
+>>> out.report.stale_rate <= 0.05
 True
+
+The same spec shape covers transactional runs (``txn_workload=``),
+elastic runs (``elastic=``) and the execution engine
+(``backend="sim"`` deterministic simulator, the default, or
+``backend="asyncio"`` for the wall-clock localhost runtime).
 """
 
 from repro.policy import ConsistencyPolicy, StaticPolicy, EVENTUAL, QUORUM, STRONG
@@ -63,6 +73,27 @@ from repro.workload import (
     TxnWorkloadSpec,
     bank_transfer_mix,
 )
+from repro.obs.slo import SLOSpec
+from repro.runtime import BACKENDS
+from repro.experiments.platforms import (
+    Platform,
+    ec2_cost_platform,
+    ec2_harmony_platform,
+    grid5000_bismar_platform,
+    grid5000_harmony_platform,
+    single_dc_platform,
+    small_dc_platform,
+    storm_txn_platform,
+)
+from repro.experiments.runner import (
+    bismar_factory,
+    harmony_factory,
+    named_policy_factory,
+    static_factory,
+)
+from repro.experiments.scenarios import ScenarioSpec
+from repro.experiments.sweep import SweepRunner
+from repro.facade import AnyRunOutcome, LocalhostRunOutcome, RunSpec, run
 
 __version__ = "1.0.0"
 
@@ -108,5 +139,28 @@ __all__ = [
     "deploy_and_run_elastic",
     "TxnWorkloadSpec",
     "bank_transfer_mix",
+    # the unified run facade and its building blocks
+    "RunSpec",
+    "run",
+    "AnyRunOutcome",
+    "LocalhostRunOutcome",
+    "BACKENDS",
+    "ScenarioSpec",
+    "SweepRunner",
+    "SLOSpec",
+    # platform presets
+    "Platform",
+    "single_dc_platform",
+    "small_dc_platform",
+    "ec2_harmony_platform",
+    "grid5000_harmony_platform",
+    "storm_txn_platform",
+    "ec2_cost_platform",
+    "grid5000_bismar_platform",
+    # policy factories
+    "static_factory",
+    "harmony_factory",
+    "bismar_factory",
+    "named_policy_factory",
     "__version__",
 ]

@@ -154,7 +154,7 @@ def _txn(args) -> None:
     from repro.common.tables import Table
     from repro.experiments.platforms import ec2_harmony_platform
     from repro.experiments.runner import named_policy_factory
-    from repro.txn.runner import deploy_and_run_txn
+    from repro.facade import RunSpec, run
     from repro.workload.workloads import TXN_WORKLOADS
 
     try:
@@ -189,11 +189,16 @@ def _txn(args) -> None:
         ],
     )
     for name, factory in factories.items():
-        outcome = deploy_and_run_txn(
-            ec2_harmony_platform(), factory, spec, txns=txns,
-            clients=min(16, txns),
-            seed=args.seed,
-            commit_protocol=protocol,
+        outcome = run(
+            RunSpec(
+                platform=ec2_harmony_platform(),
+                policy=factory,
+                txn_workload=spec,
+                ops=txns,
+                clients=min(16, txns),
+                seed=args.seed,
+                commit_protocol=protocol,
+            )
         )
         t = outcome.report.txn
         lat = outcome.tstore.commit_latency
@@ -412,6 +417,78 @@ def _diff(args) -> None:
             print(f"\nonly in {side}: {', '.join(runs)}")
 
 
+def _xval(args) -> None:
+    """Cross-validate the sim backend against the asyncio localhost runtime."""
+    from dataclasses import replace
+
+    from repro.common.tables import Table
+    from repro.runtime.xval import cross_validate, default_xval_spec
+    from repro.txn.api import TxnConfig
+
+    spec = default_xval_spec(
+        txns=args.txns,
+        clients=args.clients,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        wall_timeout=args.timeout,
+    )
+    if args.protocol:
+        spec = replace(
+            spec, txn_config=replace(TxnConfig(), commit_protocol=args.protocol)
+        )
+    try:
+        levels = tuple(float(x) for x in args.levels.split(","))
+    except ValueError:
+        raise ConfigError(
+            f"--levels must be comma-separated floats, got {args.levels!r}"
+        ) from None
+    report = cross_validate(spec, hot_fractions=levels)
+
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        table = Table(
+            f"sim vs asyncio cross-validation "
+            f"({spec.txn_config.commit_protocol}, {args.txns} txns/level)",
+            [
+                "hot_frac",
+                "abort sim",
+                "abort aio",
+                "stale sim",
+                "stale aio",
+                "commit sim ms",
+                "commit aio ms",
+                "verdict",
+            ],
+        )
+        for c in report.checks:
+            table.add_row(
+                [
+                    f"{c.hot_fraction:.2f}",
+                    f"{c.sim_abort_rate:.3f}",
+                    f"{c.aio_abort_rate:.3f}",
+                    f"{c.sim_stale_rate:.3f}",
+                    f"{c.aio_stale_rate:.3f}",
+                    f"{c.sim_commit_ms:.1f}",
+                    f"{c.aio_commit_ms:.1f}",
+                    "ok" if c.ok else "; ".join(c.failures),
+                ]
+            )
+        print(table.render())
+        for failure in report.trend_failures:
+            print(f"  trend: {failure}")
+        print(
+            f"tolerances: abort ±{report.abort_tolerance}, "
+            f"stale ±{report.stale_tolerance}, "
+            f"trend deadband {report.trend_deadband}"
+        )
+        print("cross-validation " + ("PASSED" if report.passed else "FAILED"))
+    if not report.passed:
+        raise SystemExit(1)
+
+
 def _sweep(args) -> None:
     import os
 
@@ -427,6 +504,7 @@ def _sweep(args) -> None:
         ops=args.ops,
         client_mode=args.client_mode,
         obs_dir=os.path.join(args.out, "obs") if args.obs else None,
+        backend=args.backend,
     )
     print(f"sweep: {len(plan)} runs over {args.jobs} worker(s)")
     result = SweepRunner(jobs=args.jobs).run(plan)
@@ -448,6 +526,7 @@ COMMANDS: Dict[str, Callable] = {
     "txn": _txn,
     "elastic": _elastic,
     "sweep": _sweep,
+    "xval": _xval,
     "bench": _bench,
     "report": _report,
     "diff": _diff,
@@ -468,6 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
         "txn": "run an atomic multi-key transaction mix under 2PC",
         "elastic": "run an elastic scenario and print its membership timeline",
         "sweep": "run registered scenarios over a parameter grid in parallel",
+        "xval": "cross-validate sim predictions against the asyncio "
+        "localhost runtime (exit 1 on tolerance breach)",
         "bench": "run the performance benchmark suite (perf trajectory + gate)",
         "report": "render a run's observability timeline (text, CSV, "
         "validate, SLO verdicts)",
@@ -595,6 +676,39 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="emit the structured diff as JSON instead of tables",
             )
+        if name == "xval":
+            p.add_argument(
+                "--txns", type=int, default=40,
+                help="transactions per contention level per backend (default 40)",
+            )
+            p.add_argument(
+                "--clients", type=int, default=6,
+                help="concurrent closed-loop clients (default 6)",
+            )
+            p.add_argument(
+                "--levels", default="0.0,0.5,0.95", metavar="F1,F2,...",
+                help="hot_fraction contention levels to sweep "
+                "(default 0.0,0.5,0.95)",
+            )
+            p.add_argument(
+                "--protocol", default=None, metavar="NAME",
+                help="commit protocol: 2pc, 2pc-coop, or 3pc (default 2pc)",
+            )
+            p.add_argument(
+                "--time-scale", type=float, default=0.25, dest="time_scale",
+                help="wall seconds per protocol second on the asyncio side "
+                "(default 0.25)",
+            )
+            p.add_argument(
+                "--timeout", type=float, default=120.0,
+                help="hard wall-clock cap per asyncio run in seconds "
+                "(default 120)",
+            )
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="emit the structured report as JSON",
+            )
         if name == "sweep":
             p.add_argument(
                 "--obs",
@@ -626,6 +740,13 @@ def build_parser() -> argparse.ArgumentParser:
                 dest="client_mode",
                 help="force every run's client model (default: each "
                 "scenario's declared mode; txn scenarios always per-client)",
+            )
+            p.add_argument(
+                "--backend",
+                choices=("sim", "asyncio"),
+                default=None,
+                help="force every run's execution engine (default: sim; "
+                "asyncio runs txn scenarios on the localhost runtime)",
             )
             p.add_argument(
                 "--out", default=None, metavar="DIR",

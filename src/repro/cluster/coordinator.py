@@ -183,7 +183,10 @@ class Coordinator:
 
     Constructed by :class:`~repro.cluster.store.ReplicatedStore`; not
     intended for standalone use (it needs the store's shared ring, strategy,
-    network, nodes and oracle).
+    transport, nodes and oracle). All messaging and timers go through
+    ``store.transport`` -- the coordinator never touches the simulator or
+    the network object directly, which is what lets the same state machine
+    run on the asyncio backend.
     """
 
     __slots__ = ("store", "node_id", "dc")
@@ -235,10 +238,10 @@ class Coordinator:
     ) -> None:
         """Coordinate one write; ``done(result)`` fires on ack or failure."""
         st = self.store
-        sim = st.sim
+        tr = st.transport
         replicas, extra, by_dc = st.replica_info(key)
         requirement = self._requirement(level, replicas, by_dc)
-        result = OpResult("write", key, sim.now, requirement.label)
+        result = OpResult("write", key, tr.now, requirement.label)
         result.dc = self.dc
         result.value_size = value_size
         result.ack_delays = []
@@ -249,14 +252,14 @@ class Coordinator:
             dc = st.topology.dc_of(r)
             alive_by_dc[dc] = alive_by_dc.get(dc, 0) + 1
         if not requirement.feasible(len(alive), alive_by_dc):
-            result.t_end = sim.now
+            result.t_end = tr.now
             result.error = "unavailable"
             st._count_failure("write", "unavailable")
             done(result)
             return
 
         st.write_seq += 1
-        version = Version(sim.now, st.write_seq, value_size)
+        version = Version(tr.now, st.write_seq, value_size)
         st.oracle.note_write_start(key, version, n_replicas=len(alive))
         # Mark the write in flight until it settles (ack or timeout): the
         # rebalancer must not hand this key's ownership off underneath it.
@@ -269,7 +272,7 @@ class Coordinator:
         for r in replicas:
             node = st.nodes[r]
             if node.up:
-                st.network.send(
+                tr.send(
                     self.node_id, r, msg, node.handle_write, key, version,
                     self._make_write_applied(op),
                 )
@@ -286,7 +289,7 @@ class Coordinator:
             node = st.nodes[r]
             if node.up:
                 op.extra_needed += 1
-                st.network.send(
+                tr.send(
                     self.node_id, r, msg, node.handle_write, key, version,
                     self._make_extra_applied(op),
                 )
@@ -294,7 +297,7 @@ class Coordinator:
                 st.hints.add(r, key, version)
 
         if st.write_timeout > 0:
-            op.timeout_event = sim.schedule(
+            op.timeout_event = tr.set_timer(
                 st.write_timeout, self._write_timeout, op
             )
 
@@ -303,8 +306,8 @@ class Coordinator:
         st = self.store
 
         def applied(node_id: int, key: str, version: Version) -> None:
-            st.oracle.note_replica_applied(version, st.sim.now)
-            st.network.send(
+            st.oracle.note_replica_applied(version, st.transport.now)
+            st.transport.send(
                 node_id, self.node_id, st.sizes.ack, self._on_write_ack, op, node_id
             )
 
@@ -315,7 +318,7 @@ class Coordinator:
         st = self.store
 
         def applied(node_id: int, key: str, version: Version) -> None:
-            st.network.send(
+            st.transport.send(
                 node_id, self.node_id, st.sizes.ack, self._on_extra_ack, op
             )
 
@@ -331,7 +334,7 @@ class Coordinator:
         dc = st.topology.dc_of(replica_id)
         op.acks_by_dc[dc] = op.acks_by_dc.get(dc, 0) + 1
         if op.result.ack_delays is not None:
-            op.result.ack_delays.append(st.sim.now - op.result.t_start)
+            op.result.ack_delays.append(st.transport.now - op.result.t_start)
         if op.acks_total == op.result.replicas_contacted:
             # Every live replica has acknowledged: the write is fully
             # propagated as far as the coordinator can observe. This is the
@@ -351,7 +354,7 @@ class Coordinator:
                 op.timeout_event.cancel()
             st.oracle.note_write_acked(op.result.key, op.version)
             st._note_write_settled(op.result.key)
-            op.result.t_end = st.sim.now
+            op.result.t_end = st.transport.now
             op.result.ok = True
             op.done_cb(op.result)
 
@@ -359,7 +362,7 @@ class Coordinator:
         if op.finished:
             return
         op.finished = True
-        op.result.t_end = self.store.sim.now
+        op.result.t_end = self.store.transport.now
         op.result.error = "timeout"
         self.store._note_write_settled(op.result.key)
         self.store._count_failure("write", "timeout")
@@ -381,15 +384,15 @@ class Coordinator:
         a stale read on its own.
         """
         st = self.store
-        sim = st.sim
+        tr = st.transport
         replicas, _, by_dc = st.replica_info(key)
         requirement = self._requirement(level, replicas, by_dc)
-        result = OpResult("read", key, sim.now, requirement.label)
+        result = OpResult("read", key, tr.now, requirement.label)
         result.dc = self.dc
 
         targets = self._select_read_targets(replicas, requirement)
         if targets is None:
-            result.t_end = sim.now
+            result.t_end = tr.now
             result.error = "unavailable"
             st._count_failure("read", "unavailable")
             done(result)
@@ -414,19 +417,19 @@ class Coordinator:
             node = st.nodes[r]
             # first target returns full data, the rest return digests
             resp = st.default_value_size if i == 0 else st.sizes.digest
-            st.network.send(
+            tr.send(
                 self.node_id, r, req_size, node.handle_read, key,
                 self._make_read_response(op, resp, foreground=True),
             )
         for r in op.repair_targets:
             node = st.nodes[r]
-            st.network.send(
+            tr.send(
                 self.node_id, r, req_size, node.handle_read, key,
                 self._make_read_response(op, st.sizes.digest, foreground=False),
             )
 
         if st.read_timeout > 0:
-            op.timeout_event = sim.schedule(st.read_timeout, self._read_timeout, op)
+            op.timeout_event = tr.set_timer(st.read_timeout, self._read_timeout, op)
 
     def _select_read_targets(
         self, replicas: Sequence[int], requirement: Requirement
@@ -460,7 +463,7 @@ class Coordinator:
         st = self.store
 
         def served(node_id: int, key: str, version: Optional[Version]) -> None:
-            st.network.send(
+            st.transport.send(
                 node_id, self.node_id, resp_bytes,
                 self._on_read_response, op, node_id, key, version, foreground,
             )
@@ -488,7 +491,7 @@ class Coordinator:
             op.finished = True
             if op.timeout_event is not None:
                 op.timeout_event.cancel()
-            op.result.t_end = st.sim.now
+            op.result.t_end = st.transport.now
             op.result.ok = True
             op.result.value_size = op.best.size if op.best is not None else 0
             op.result.version = op.best
@@ -511,7 +514,7 @@ class Coordinator:
                 if not node.up:
                     continue
                 st.repairs_issued += 1
-                st.network.send(
+                st.transport.send(
                     self.node_id,
                     node_id,
                     st.sizes.request_overhead + best.size,
@@ -525,7 +528,7 @@ class Coordinator:
         if op.finished:
             return
         op.finished = True
-        op.result.t_end = self.store.sim.now
+        op.result.t_end = self.store.transport.now
         op.result.error = "timeout"
         self.store._count_failure("read", "timeout")
         op.done_cb(op.result)

@@ -1,21 +1,20 @@
 """Failure injection: node crashes, recoveries and WAN partitions.
 
-The injector schedules failure scripts on the simulator clock. It goes
-through the store so recovery triggers hint replay, and through the network
-so partitions drop messages -- exercising exactly the availability/staleness
-behaviour the integration tests assert on.
+The injector schedules failure scripts on the store's transport clock. It
+goes through the store so recovery triggers hint replay, and through the
+transport so partitions drop messages -- exercising exactly the
+availability/staleness behaviour the integration tests assert on.
 
 Every executed failure is recorded as a structured
 :class:`~repro.obs.events.ObsEvent` in :attr:`FailureInjector.events` and
 published on the store's event bus, so the observability layer (and any
 other subscriber) sees crashes/partitions as typed records rather than
-parsing strings. The legacy ``log`` view -- a list of ``(time, message)``
-tuples -- is kept as a property rendering the same strings it always did.
+parsing strings.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.common.errors import ConfigError
 from repro.obs.events import ObsEvent
@@ -31,26 +30,8 @@ class FailureInjector:
         #: structured record of every executed failure action, in order.
         self.events: List[ObsEvent] = []
 
-    @property
-    def log(self) -> List[Tuple[float, str]]:
-        """Legacy ``(time, message)`` view of :attr:`events`."""
-        return [(e.t, self._render(e)) for e in self.events]
-
-    @staticmethod
-    def _render(event: ObsEvent) -> str:
-        kind, data = event.kind, event.data
-        if kind == "node-crash":
-            return f"crash node {data['node']}"
-        if kind == "node-recover":
-            return f"recover node {data['node']}"
-        if kind == "partition":
-            return f"partition dc{data['dc_a']}<->dc{data['dc_b']}"
-        if kind == "heal":
-            return f"heal dc{data['dc_a']}<->dc{data['dc_b']}"
-        return kind  # pragma: no cover - no other kinds are emitted here
-
     def _record(self, kind: str, **data) -> None:
-        event = ObsEvent(self.store.sim.now, kind, data)
+        event = ObsEvent(self.store.transport.now, kind, data)
         self.events.append(event)
         self.store.events.emit(event)
 
@@ -58,13 +39,13 @@ class FailureInjector:
 
     def crash_node(self, node_id: int, at: float, duration: float | None = None) -> None:
         """Crash ``node_id`` at time ``at``; recover after ``duration`` if given."""
-        if at < self.store.sim.now:
+        if at < self.store.transport.now:
             raise ConfigError(f"cannot schedule a crash in the past (at={at})")
-        self.store.sim.schedule_at(at, self._do_crash, node_id)
+        self.store.transport.set_timer_at(at, self._do_crash, node_id)
         if duration is not None:
             if duration <= 0:
                 raise ConfigError(f"duration must be positive, got {duration}")
-            self.store.sim.schedule_at(at + duration, self._do_recover, node_id)
+            self.store.transport.set_timer_at(at + duration, self._do_recover, node_id)
 
     def crash_storm(
         self,
@@ -105,18 +86,18 @@ class FailureInjector:
         self, dc_a: int, dc_b: int, at: float, duration: float | None = None
     ) -> None:
         """Cut DCs ``dc_a``/``dc_b`` at ``at``; heal after ``duration`` if given."""
-        if at < self.store.sim.now:
+        if at < self.store.transport.now:
             raise ConfigError(f"cannot schedule a partition in the past (at={at})")
-        self.store.sim.schedule_at(at, self._do_partition, dc_a, dc_b)
+        self.store.transport.set_timer_at(at, self._do_partition, dc_a, dc_b)
         if duration is not None:
             if duration <= 0:
                 raise ConfigError(f"duration must be positive, got {duration}")
-            self.store.sim.schedule_at(at + duration, self._do_heal, dc_a, dc_b)
+            self.store.transport.set_timer_at(at + duration, self._do_heal, dc_a, dc_b)
 
     def _do_partition(self, dc_a: int, dc_b: int) -> None:
-        self.store.network.partition_dcs(dc_a, dc_b)
+        self.store.transport.partition_dcs(dc_a, dc_b)
         self._record("partition", dc_a=dc_a, dc_b=dc_b)
 
     def _do_heal(self, dc_a: int, dc_b: int) -> None:
-        self.store.network.heal_partition(dc_a, dc_b)
+        self.store.transport.heal_partition(dc_a, dc_b)
         self._record("heal", dc_a=dc_a, dc_b=dc_b)

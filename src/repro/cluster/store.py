@@ -45,6 +45,7 @@ from repro.cluster.versions import Version
 from repro.net.topology import Topology
 from repro.net.transport import Network
 from repro.obs.events import EventBus
+from repro.runtime.sim import SimTransport
 from repro.simcore.simulator import Simulator
 
 __all__ = ["StoreConfig", "ReplicatedStore", "MembershipChange"]
@@ -154,6 +155,10 @@ class ReplicatedStore:
         self._rngs = rngs  # kept: bootstrapped nodes derive their streams here
         self.rng = rngs.stream("store.coordinator")
         self.network = Network(sim, topology, rng=rngs.stream("store.network"))
+        #: the transport every protocol layer (coordinators, 2PC, failure
+        #: hooks) speaks; a pure view over ``(sim, network)`` here, so the
+        #: indirection costs one attribute hop and changes no behavior.
+        self.transport = SimTransport(sim, self.network)
         self.ring = TokenRing(topology.n_nodes, vnodes=self.config.vnodes)
         self.nodes: List[StorageNode] = [
             StorageNode(
@@ -584,7 +589,7 @@ class ReplicatedStore:
                 src = self._any_live_node()
                 if src is None:
                     break
-                self.network.send(
+                self.transport.send(
                     src,
                     node_id,
                     self.sizes.hint_overhead + version.size,

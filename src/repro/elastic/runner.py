@@ -12,6 +12,7 @@ the usual throughput/latency/staleness metrics.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -71,7 +72,22 @@ class ElasticRunOutcome:
     obs: Optional[RunObserver] = None
 
 
-def deploy_and_run_elastic(
+def deploy_and_run_elastic(*args: Any, **kwargs: Any) -> ElasticRunOutcome:
+    """Deprecated spelling of the elastic path of :func:`repro.run`.
+
+    Same signature and behaviour as before; new code should build a
+    :class:`repro.RunSpec` with ``elastic=`` and call :func:`repro.run`.
+    """
+    warnings.warn(
+        "deploy_and_run_elastic() is deprecated; build a repro.RunSpec with "
+        "elastic= and call repro.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _deploy_and_run_elastic(*args, **kwargs)
+
+
+def _deploy_and_run_elastic(
     platform,
     policy_factory,
     elastic: ElasticSpec,

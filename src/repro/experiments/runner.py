@@ -16,6 +16,7 @@ can read adaptive-policy timelines after the run.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
@@ -185,7 +186,22 @@ class RunOutcome:
     obs: Optional[RunObserver] = None
 
 
-def deploy_and_run(
+def deploy_and_run(*args: object, **kwargs: object) -> RunOutcome:
+    """Deprecated spelling of the plain-workload path of :func:`repro.run`.
+
+    Same signature and behaviour as before; new code should build a
+    :class:`repro.RunSpec` and call :func:`repro.run`.
+    """
+    warnings.warn(
+        "deploy_and_run() is deprecated; build a repro.RunSpec and call "
+        "repro.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _deploy_and_run(*args, **kwargs)
+
+
+def _deploy_and_run(
     platform: Platform,
     policy_factory: PolicyFactory,
     spec: Optional[WorkloadSpec] = None,
@@ -256,7 +272,7 @@ def run_one(
     Returns the run report and the bill covering exactly the measurement
     phase (post-warmup).
     """
-    outcome = deploy_and_run(
+    outcome = _deploy_and_run(
         platform,
         policy_factory,
         spec=spec,

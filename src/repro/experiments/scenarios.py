@@ -36,7 +36,7 @@ from repro.cost.pricing import EC2_US_EAST_2013
 from repro.elastic.autoscale import AutoscalerConfig
 from repro.elastic.cluster import ElasticCluster
 from repro.elastic.rebalance import RebalanceConfig
-from repro.elastic.runner import ElasticSpec, deploy_and_run_elastic
+from repro.elastic.runner import ElasticSpec
 from repro.experiments.platforms import (
     Platform,
     ec2_harmony_platform,
@@ -49,14 +49,12 @@ from repro.experiments.platforms import (
 from repro.experiments.runner import (
     PolicyFactory,
     bismar_factory,
-    deploy_and_run,
     harmony_factory,
     named_policy_factory,
 )
 from repro.obs.recorder import ObsConfig, RunObserver
 from repro.obs.slo import SLOSpec
 from repro.txn.api import TxnConfig
-from repro.txn.runner import deploy_and_run_txn
 from repro.workload.client import RunReport
 from repro.workload.workloads import (
     WORKLOADS,
@@ -101,9 +99,9 @@ class ScenarioSpec:
         heavy read-update mix.
     txn_workload:
         ``params -> TxnWorkloadSpec`` for transactional scenarios; when
-        set, the run goes through the 2PC harness
-        (:func:`repro.txn.runner.deploy_and_run_txn`), ``ops`` counts
-        transactions, and the run's metrics include the ``txn`` block.
+        set, the run goes through the 2PC harness (the transactional
+        path of :func:`repro.run`), ``ops`` counts transactions, and
+        the run's metrics include the ``txn`` block.
     txn_config:
         ``params -> TxnConfig`` protocol tunables (transactional
         scenarios only).
@@ -111,8 +109,8 @@ class ScenarioSpec:
         ``params -> ElasticSpec`` for scenarios whose capacity changes
         mid-run (scripted membership events, an autoscaler, or a pacing
         schedule); when set, the run goes through the elastic harness
-        (:func:`repro.elastic.runner.deploy_and_run_elastic`) and the
-        run's metrics include the ``elastic`` block.
+        (the elastic path of :func:`repro.run`) and the run's metrics
+        include the ``elastic`` block.
     failures:
         ``(injector, params) -> None``; schedules the scenario's failure
         script before the workload starts. ``None`` = healthy cluster.
@@ -181,6 +179,7 @@ class ScenarioSpec:
         ops: Optional[int] = None,
         client_mode: Optional[str] = None,
         obs: Optional["ObsConfig"] = None,
+        backend: Optional[str] = None,
     ) -> "ScenarioRun":
         """Execute one deployment of this scenario and collect its metrics.
 
@@ -188,13 +187,21 @@ class ScenarioSpec:
         ``repro sweep --client-mode`` path); transactional scenarios
         ignore it. ``obs`` attaches a run observer (timeline + trace);
         observability never changes the run's results, only records them.
+        ``backend`` picks the execution engine (``"sim"`` default;
+        ``"asyncio"`` runs transactional scenarios on the localhost
+        runtime -- wall clock, no billing, protocol metrics only).
         """
+        # Deferred: the facade imports this package's runner module, so a
+        # top-level import here would close an import cycle.
+        from repro import facade
+
         params = self.resolve_params(overrides)
         mode = client_mode if client_mode is not None else self.client_mode
         if mode not in ("per_client", "cohort"):
             raise ConfigError(
                 f"client_mode must be 'per_client' or 'cohort', got {mode!r}"
             )
+        engine = backend if backend is not None else "sim"
         if obs is not None and self.oracle_overrides:
             obs = replace(
                 obs,
@@ -209,51 +216,37 @@ class ScenarioSpec:
             def failure_script(injector: FailureInjector) -> None:
                 fail(injector, params)
 
-        if self.elastic is not None:
-            outcome = deploy_and_run_elastic(
-                self.platform(),
-                self.policy(params),
-                self.elastic(params),
-                spec=self.workload(params) if self.workload is not None else None,
-                ops=ops if ops is not None else self.ops,
-                clients=self.clients,
-                seed=seed,
-                target_throughput=self.pacing(params) if self.pacing else None,
-                failure_script=failure_script,
-                client_mode=mode,
-                obs=obs,
-            )
-        elif self.txn_workload is not None:
-            outcome = deploy_and_run_txn(
-                self.platform(),
-                self.policy(params),
-                spec=self.txn_workload(params),
-                txns=ops if ops is not None else self.ops,
-                clients=self.clients,
-                seed=seed,
-                target_throughput=self.pacing(params) if self.pacing else None,
-                failure_script=failure_script,
-                txn_config=self.txn_config(params) if self.txn_config else None,
-                commit_protocol=(
-                    str(params["commit_protocol"])
-                    if "commit_protocol" in params
-                    else None
-                ),
-                obs=obs,
-            )
-        else:
-            outcome = deploy_and_run(
-                self.platform(),
-                self.policy(params),
-                spec=self.workload(params) if self.workload is not None else None,
-                ops=ops if ops is not None else self.ops,
-                clients=self.clients,
-                seed=seed,
-                target_throughput=self.pacing(params) if self.pacing else None,
-                failure_script=failure_script,
-                client_mode=mode,
-                obs=obs,
-            )
+        txn_workload = (
+            self.txn_workload(params) if self.txn_workload is not None else None
+        )
+        spec = facade.RunSpec(
+            platform=self.platform(),
+            policy=self.policy(params),
+            workload=self.workload(params) if self.workload is not None else None,
+            txn_workload=txn_workload,
+            elastic=self.elastic(params) if self.elastic is not None else None,
+            ops=ops if ops is not None else self.ops,
+            clients=self.clients,
+            seed=seed,
+            target_throughput=self.pacing(params) if self.pacing else None,
+            failure_script=failure_script,
+            client_mode=mode,
+            txn_config=(
+                self.txn_config(params)
+                if self.txn_config and txn_workload is not None
+                else None
+            ),
+            commit_protocol=(
+                str(params["commit_protocol"])
+                if txn_workload is not None and "commit_protocol" in params
+                else None
+            ),
+            obs=obs,
+            backend=engine,
+        )
+        outcome = facade.run(spec)
+        if engine == "asyncio":
+            return self._localhost_scenario_run(outcome, params, seed)
         if outcome.obs is not None:
             # Stamp scenario identity, cost and the SLO into the timeline
             # header so artifacts are self-contained for `report --slo`.
@@ -276,6 +269,56 @@ class ScenarioSpec:
             cost_per_kop=outcome.bill.cost_per_kop,
             level_fractions={str(k): float(v) for k, v in level_fractions.items()},
             obs=outcome.obs,
+        )
+
+    def _localhost_scenario_run(
+        self, outcome: Any, params: Dict[str, Any], seed: int
+    ) -> "ScenarioRun":
+        """Flatten an asyncio-backend outcome into a :class:`ScenarioRun`.
+
+        The localhost runtime reports the protocol surface only: the
+        ``txn`` block, oracle staleness and throughput are real; the
+        single-op latency columns are zero (the wall-clock path has no
+        per-op latency model) and nothing is billed. Rows produced this
+        way carry ``policy="localhost"`` so they cannot be mistaken for
+        simulator results in aggregated tables.
+        """
+        res = outcome.result
+        completed = int(res["outcomes"])
+        duration = float(res["protocol_seconds"])
+        report = RunReport(
+            policy="localhost",
+            workload=(
+                self.txn_workload(params).name
+                if self.txn_workload is not None
+                else "localhost"
+            ),
+            ops_completed=completed,
+            duration=duration,
+            throughput=completed / duration if duration > 0 else 0.0,
+            read_latency_mean=0.0,
+            read_latency_p99=0.0,
+            write_latency_mean=0.0,
+            write_latency_p99=0.0,
+            stale_rate=float(res["stale_rate"]),
+            stale_rate_strict=float(res["stale_rate"]),
+            failures={},
+            billable_bytes=0,
+            total_bytes=0,
+            mean_propagation=float(res["mean_propagation_s"] or 0.0),
+            txn=dict(res["txn"]),
+            client_mode="per_client",
+            n_clients=int(outcome.spec.clients),
+        )
+        return ScenarioRun(
+            scenario=self.name,
+            params=dict(params),
+            seed=seed,
+            report=report,
+            cost_total=0.0,
+            cost_per_kop=0.0,
+            level_fractions={},
+            obs=None,
         )
 
 

@@ -32,6 +32,7 @@ from repro.common.errors import ConfigError
 from repro.common.tables import Table
 from repro.experiments import scenarios
 from repro.obs.recorder import ObsConfig
+from repro.runtime import BACKENDS
 
 __all__ = [
     "SweepJob",
@@ -134,6 +135,10 @@ class SweepJob:
     attaches a run observer and writes its timeline/trace artifacts under
     that directory; like ``client_mode`` it stays outside the identity,
     so an observed sweep reproduces the unobserved sweep's seeds exactly.
+    ``backend`` (when set) forces the execution engine (``sim`` or
+    ``asyncio``); it too stays outside the identity, so an
+    asyncio-backend sweep reuses the sim sweep's derived seeds and its
+    rows line up run-for-run with the simulator's.
     """
 
     scenario: str
@@ -142,6 +147,7 @@ class SweepJob:
     ops: Optional[int] = None
     client_mode: Optional[str] = None
     obs_dir: Optional[str] = None
+    backend: Optional[str] = None
 
     def key(self) -> str:
         """Canonical identity used for sorting and dedup."""
@@ -190,6 +196,7 @@ def plan_sweep(
     ops: Optional[int] = None,
     client_mode: Optional[str] = None,
     obs_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> SweepPlan:
     """Cross scenarios with the grid into a deduplicated, ordered run plan.
 
@@ -215,6 +222,10 @@ def plan_sweep(
         raise ConfigError(
             f"client_mode must be 'per_client' or 'cohort', got {client_mode!r}"
         )
+    if backend is not None and backend not in BACKENDS:
+        raise ConfigError(
+            f"backend must be one of {list(BACKENDS)}, got {backend!r}"
+        )
     jobs: Dict[str, SweepJob] = {}
     for name in selected:
         spec = scenarios.get(name)
@@ -227,6 +238,7 @@ def plan_sweep(
                 ops=ops,
                 client_mode=client_mode,
                 obs_dir=obs_dir,
+                backend=backend,
             )
             jobs.setdefault(job.key(), job)
     return SweepPlan(
@@ -243,12 +255,16 @@ def _run_job(job: SweepJob) -> Dict[str, Any]:
         ops=job.ops,
         client_mode=job.client_mode,
         obs=ObsConfig() if job.obs_dir is not None else None,
+        backend=job.backend,
     )
     row: Dict[str, Any] = {
         "scenario": job.scenario,
         "params": dict(sorted(job.params.items())),
         "seed": job.seed,
     }
+    if job.backend is not None:
+        # Stamp forced-engine rows; default (sim) sweeps stay byte-identical.
+        row["backend"] = job.backend
     row.update(run.metrics())
     if run.obs is not None:
         # Stamp the run identity into the artifact headers, then write into

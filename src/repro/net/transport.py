@@ -192,6 +192,10 @@ class Network:
         key = (self.topology.dc_of(src), self.topology.dc_of(dst))
         return key in self._partitioned
 
+    def dcs_partitioned(self, dc_a: int, dc_b: int) -> bool:
+        """Datacenter-level twin of :meth:`is_partitioned` (dc indices, not nodes)."""
+        return (dc_a, dc_b) in self._partitioned
+
     # -- data plane ---------------------------------------------------------------
 
     def send(

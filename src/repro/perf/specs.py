@@ -212,13 +212,16 @@ def _bench_store_ops(p: Params) -> int:
 def _bench_workload_harmony(p: Params) -> int:
     """End-to-end geo-replicated harness run with the adaptive policy on."""
     from repro.experiments.platforms import ec2_harmony_platform
-    from repro.experiments.runner import deploy_and_run, harmony_factory
+    from repro.experiments.runner import harmony_factory
+    from repro.facade import RunSpec, run
 
-    outcome = deploy_and_run(
-        ec2_harmony_platform(),
-        harmony_factory(0.4),
-        ops=int(p["ops"]),
-        seed=int(p["seed"]),
+    outcome = run(
+        RunSpec(
+            platform=ec2_harmony_platform(),
+            policy=harmony_factory(0.4),
+            ops=int(p["ops"]),
+            seed=int(p["seed"]),
+        )
     )
     return int(outcome.report.ops_completed)
 
@@ -311,16 +314,18 @@ def _bench_txn_2pc(p: Params) -> int:
     """Atomic bank transfers under 2PC over two EC2 AZs."""
     from repro.experiments.platforms import ec2_harmony_platform
     from repro.experiments.runner import named_policy_factory
-    from repro.txn.runner import deploy_and_run_txn
+    from repro.facade import RunSpec, run
     from repro.workload.workloads import bank_transfer_mix
 
-    outcome = deploy_and_run_txn(
-        ec2_harmony_platform(),
-        named_policy_factory("quorum"),
-        bank_transfer_mix(record_count=int(p["records"])),
-        txns=int(p["txns"]),
-        clients=int(p["clients"]),
-        seed=int(p["seed"]),
+    outcome = run(
+        RunSpec(
+            platform=ec2_harmony_platform(),
+            policy=named_policy_factory("quorum"),
+            txn_workload=bank_transfer_mix(record_count=int(p["records"])),
+            ops=int(p["txns"]),
+            clients=int(p["clients"]),
+            seed=int(p["seed"]),
+        )
     )
     return int(outcome.report.txn["txns"])
 
@@ -332,32 +337,34 @@ def _bench_txn_protocol(p: Params) -> int:
     from repro.cluster.failures import FailureInjector
     from repro.experiments.platforms import storm_txn_platform
     from repro.experiments.runner import named_policy_factory
+    from repro.facade import RunSpec, run
     from repro.txn.api import TxnConfig
-    from repro.txn.runner import deploy_and_run_txn
     from repro.workload.workloads import read_modify_write_mix
 
     def storm(injector: FailureInjector) -> None:
         injector.crash_storm([0, 2, 5, 7], start=0.5, interval=0.5, downtime=1.5)
 
-    outcome = deploy_and_run_txn(
-        storm_txn_platform(),
-        named_policy_factory("quorum"),
-        read_modify_write_mix(record_count=int(p["records"])),
-        txns=int(p["txns"]),
-        clients=int(p["clients"]),
-        seed=int(p["seed"]),
-        failure_script=storm,
-        txn_config=TxnConfig(
-            prepare_timeout=0.5,
-            client_timeout=2.0,
-            retry_interval=0.25,
-            status_interval=0.1,
-            status_backoff=2.0,
-            status_interval_max=0.5,
-            termination_after=2,
-            termination_timeout=0.25,
-        ),
-        commit_protocol=str(p["protocol"]),
+    outcome = run(
+        RunSpec(
+            platform=storm_txn_platform(),
+            policy=named_policy_factory("quorum"),
+            txn_workload=read_modify_write_mix(record_count=int(p["records"])),
+            ops=int(p["txns"]),
+            clients=int(p["clients"]),
+            seed=int(p["seed"]),
+            failure_script=storm,
+            txn_config=TxnConfig(
+                prepare_timeout=0.5,
+                client_timeout=2.0,
+                retry_interval=0.25,
+                status_interval=0.1,
+                status_backoff=2.0,
+                status_interval_max=0.5,
+                termination_after=2,
+                termination_timeout=0.25,
+            ),
+            commit_protocol=str(p["protocol"]),
+        )
     )
     return int(outcome.report.txn["txns"])
 
@@ -402,17 +409,20 @@ def _bench_obs_overhead(p: Params) -> int:
     only (no artifact writes), so the number isolates the recording overhead
     itself."""
     from repro.experiments.platforms import ec2_harmony_platform
-    from repro.experiments.runner import deploy_and_run, harmony_factory
+    from repro.experiments.runner import harmony_factory
+    from repro.facade import RunSpec, run
     from repro.obs.recorder import ObsConfig
 
-    outcome = deploy_and_run(
-        ec2_harmony_platform(),
-        harmony_factory(0.4),
-        ops=int(p["ops"]),
-        seed=int(p["seed"]),
-        obs=ObsConfig(
-            sample_interval=0.05, trace=True, trace_sample_every=4
-        ),
+    outcome = run(
+        RunSpec(
+            platform=ec2_harmony_platform(),
+            policy=harmony_factory(0.4),
+            ops=int(p["ops"]),
+            seed=int(p["seed"]),
+            obs=ObsConfig(
+                sample_interval=0.05, trace=True, trace_sample_every=4
+            ),
+        )
     )
     return int(outcome.report.ops_completed)
 

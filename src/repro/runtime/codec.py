@@ -1,0 +1,79 @@
+"""The wire codec of the asyncio backend: JSON frames with tagged types.
+
+Protocol messages between TM and participants carry Python values --
+transaction ids, node ids, vote booleans, and (in prepare payloads)
+``{key: Version}`` maps. The asyncio backend serializes every registered
+protocol message through this codec so the run genuinely crosses a wire
+boundary: a frame is ``encode``-d at the sender, carried as ``bytes``,
+and ``decode``-d at the receiver into fresh objects (no shared references
+between sender and receiver state machines).
+
+The format is JSON (msgpack would work identically; the repository image
+carries no msgpack, and frames here are small control messages, not data
+planes). Non-JSON-native types are tagged:
+
+- :class:`~repro.cluster.versions.Version` ->
+  ``{"__v__": [timestamp, seq, size]}``;
+- ``None`` inside dict *values* survives natively; tuples decode as lists
+  (every protocol handler normalizes with ``list()``/``dict()`` already).
+
+Dict keys are strings on the wire; integer-keyed protocol dicts do not
+occur in registered messages (writes and read-version maps are keyed by
+the string row key).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Tuple
+
+from repro.common.errors import SimulationError
+from repro.cluster.versions import Version
+
+__all__ = ["encode", "decode", "to_wire", "from_wire"]
+
+_VERSION_TAG = "__v__"
+
+
+def to_wire(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serializable wire data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Version):
+        return {_VERSION_TAG: [value.timestamp, value.write_id, value.size]}
+    if isinstance(value, (list, tuple)):
+        return [to_wire(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return [to_wire(v) for v in sorted(value)]
+    if isinstance(value, dict):
+        return {str(k): to_wire(v) for k, v in value.items()}
+    raise SimulationError(
+        f"cannot encode {type(value).__name__} on the wire: {value!r}"
+    )
+
+
+def from_wire(value: Any) -> Any:
+    """Invert :func:`to_wire` (lists stay lists; tagged Versions revive)."""
+    if isinstance(value, list):
+        return [from_wire(v) for v in value]
+    if isinstance(value, dict):
+        tagged = value.get(_VERSION_TAG)
+        if tagged is not None and len(value) == 1:
+            t, seq, size = tagged
+            return Version(float(t), int(seq), int(size))
+        return {k: from_wire(v) for k, v in value.items()}
+    return value
+
+
+def encode(name: str, args: Tuple[Any, ...]) -> bytes:
+    """One wire frame: the registered handler name plus its arguments."""
+    return json.dumps(
+        {"h": name, "a": [to_wire(a) for a in args]},
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def decode(frame: bytes) -> Tuple[str, List[Any]]:
+    """Parse a frame back into ``(handler_name, args)`` with fresh objects."""
+    obj = json.loads(frame.decode("utf-8"))
+    return obj["h"], [from_wire(a) for a in obj["a"]]

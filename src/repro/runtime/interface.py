@@ -1,0 +1,136 @@
+"""The transport/clock/timer contract the protocol core speaks.
+
+Everything the commit protocols, the coordinator fan-out and the failure
+hooks need from their environment is five capabilities:
+
+- a **monotonic clock** (:attr:`Transport.now`),
+- **message send** with a per-message delivery callback
+  (:meth:`Transport.send`),
+- **deliver-callback registration** (:meth:`Transport.register`) so
+  backends that cross a wire codec can name a handler on the wire,
+- **delay sampling** (:meth:`Transport.sample_delay`) for estimators that
+  want a latency draw without sending,
+- **timers** (:meth:`Transport.set_timer` / :meth:`Transport.set_timer_at`)
+  returning cancellable handles.
+
+The state machines in :mod:`repro.txn` and :mod:`repro.cluster` hold no
+reference to a :class:`~repro.simcore.simulator.Simulator` or a
+:class:`~repro.net.transport.Network` directly -- they go through a
+:class:`Transport`, which is what lets the *same* classes run inside the
+discrete-event engine (:class:`~repro.runtime.sim.SimTransport`) or as
+asyncio tasks over a real wire codec
+(:class:`~repro.runtime.aio.AsyncioTransport`).
+
+What the sim backend guarantees that asyncio does not:
+
+- **determinism** -- same seed, same event order, byte-identical output;
+- **zero-cost time** -- ``now`` advances only through the event queue;
+- **global ordering** -- ties broken by a deterministic sequence number.
+
+Both backends guarantee the conformance contract asserted in
+``tests/test_transport_conformance.py``: per-link FIFO delivery under a
+constant-latency model, partition drops at send time, cancelled timers
+never fire, and messages to a crashed node have no effect.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+__all__ = ["TimerHandle", "Transport"]
+
+
+class TimerHandle:
+    """The handle contract for :meth:`Transport.set_timer`.
+
+    Only :meth:`cancel` is part of the contract; a cancelled timer never
+    fires and cancelling twice is harmless. Backends return their native
+    handle type (a sim :class:`~repro.simcore.simulator.Event`, an asyncio
+    ``TimerHandle``) -- both already satisfy this.
+    """
+
+    __slots__ = ()
+
+    def cancel(self) -> None:  # pragma: no cover - structural stub
+        raise NotImplementedError
+
+
+class Transport(ABC):
+    """Abstract transport: clock + messaging + timers for one deployment.
+
+    One instance serves every node of a deployment; ``src``/``dst`` are the
+    dense node ids the topology assigns. All callbacks fire on the backend's
+    single logical thread (the event loop), so protocol code never needs
+    locks on either backend.
+    """
+
+    # -- clock -------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Monotonic deployment time in seconds (sim time or scaled wall time)."""
+
+    # -- messaging ---------------------------------------------------------------
+
+    @abstractmethod
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        deliver: Callable[..., Any],
+        *args: Any,
+    ) -> Optional[float]:
+        """Send ``nbytes`` from ``src`` to ``dst``; ``deliver(*args)`` fires on arrival.
+
+        Returns the sampled one-way delay, or ``None`` when the message is
+        dropped (a partition). Backends that serialize across a wire codec
+        require ``deliver`` to have been :meth:`register`-ed so it can be
+        named on the wire; unregistered callables are delivered as local
+        closures (the client-side completion path).
+        """
+
+    @abstractmethod
+    def register(self, name: str, deliver: Callable[..., Any]) -> None:
+        """Declare ``deliver`` as a wire-addressable handler called ``name``.
+
+        Names must be unique per deployment (convention:
+        ``"p{node}.on_prepare"``). The sim backend ignores registration --
+        callbacks are plain function references inside one process -- but
+        protocol harnesses register anyway so the same wiring code drives
+        every backend.
+        """
+
+    @abstractmethod
+    def sample_delay(self, src: int, dst: int) -> float:
+        """Draw one link delay without sending (estimator support)."""
+
+    # -- timers ------------------------------------------------------------------
+
+    @abstractmethod
+    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> Any:
+        """Call ``fn(*args)`` after ``delay`` seconds; returns a cancellable handle."""
+
+    @abstractmethod
+    def set_timer_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Any:
+        """Call ``fn(*args)`` at absolute deployment time ``when``."""
+
+    # -- fault injection -----------------------------------------------------------
+
+    @abstractmethod
+    def partition_dcs(self, dc_a: int, dc_b: int) -> None:
+        """Symmetrically drop all future traffic between two datacenters."""
+
+    @abstractmethod
+    def heal_partition(self, dc_a: int, dc_b: int) -> None:
+        """Restore traffic between two datacenters (no-op if not partitioned)."""
+
+    @abstractmethod
+    def heal_all(self) -> None:
+        """Remove every active partition."""
+
+    @abstractmethod
+    def is_partitioned(self, dc_a: int, dc_b: int) -> bool:
+        """Whether traffic between the two datacenters is currently dropped."""

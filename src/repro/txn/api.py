@@ -258,7 +258,7 @@ class Transaction:
         self.read_versions: Dict[str, Version] = {}
         self.stale_keys: set = set()
         self.writes: Dict[str, int] = {}
-        self.t_begin = owner.store.sim.now
+        self.t_begin = owner.transport.now
         self.t_commit = self.t_begin
         self.pending_reads = 0
         self.commit_requested = False
@@ -334,6 +334,11 @@ class TransactionalStore:
         level ONE, the eventual baseline).
     config:
         Protocol tunables.
+    wal_factory:
+        ``node_id -> WriteAheadLog`` constructor. The sim backend keeps
+        the default in-memory logs (durability is modeled, not real); the
+        asyncio backend passes a file-backed factory so crash recovery
+        replays actual disk state. Same protocol classes either way.
     """
 
     def __init__(
@@ -341,12 +346,14 @@ class TransactionalStore:
         store: ReplicatedStore,
         policy: Any = None,
         config: Optional[TxnConfig] = None,
+        wal_factory: Optional[Callable[[int], WriteAheadLog]] = None,
     ):
         self.store = store
         self.policy = policy
         self.config = config or TxnConfig()
         n = len(store.nodes)
-        self.wals: List[WriteAheadLog] = [WriteAheadLog(i) for i in range(n)]
+        make_wal = wal_factory or WriteAheadLog
+        self.wals: List[WriteAheadLog] = [make_wal(i) for i in range(n)]
         self.participants: List[TxnParticipant] = [
             TxnParticipant(self, i, self.wals[i]) for i in range(n)
         ]
@@ -360,7 +367,38 @@ class TransactionalStore:
 
         self._txn_seq = 0
         self._inflight: Dict[int, Transaction] = {}
+        self._register_wire_handlers()
         self._reset_counters()
+
+    @property
+    def transport(self):
+        """The deployment's transport (clock, messaging, timers)."""
+        return self.store.transport
+
+    def _register_wire_handlers(self) -> None:
+        """Name every protocol handler on the transport.
+
+        The sim backend delivers callbacks by direct reference and only
+        records these; a wire backend (asyncio) uses the registry to name
+        each handler on the wire and to dispatch decoded frames. Keeping
+        the registration here -- not in any backend harness -- is what
+        guarantees both backends run the *same* wiring.
+        """
+        tr = self.store.transport
+        for p in self.participants:
+            i = p.node_id
+            tr.register(f"p{i}.on_prepare", p.on_prepare)
+            tr.register(f"p{i}.on_precommit", p.on_precommit)
+            tr.register(f"p{i}.on_decision", p.on_decision)
+            tr.register(f"p{i}.on_tm_working", p.on_tm_working)
+            tr.register(f"p{i}.on_termination_query", p.on_termination_query)
+            tr.register(f"p{i}.on_termination_reply", p.on_termination_reply)
+        for tm in self.tms:
+            i = tm.node_id
+            tr.register(f"tm{i}.on_vote", tm.on_vote)
+            tr.register(f"tm{i}.on_precommit_ack", tm.on_precommit_ack)
+            tr.register(f"tm{i}.on_ack", tm.on_ack)
+            tr.register(f"tm{i}.on_status_query", tm.on_status_query)
 
     def _reset_counters(self) -> None:
         self.txns_begun = 0
@@ -399,7 +437,7 @@ class TransactionalStore:
         """
         self.txn_msgs += 1
         self.txn_msg_bytes += int(nbytes)
-        return self.store.network.send(src, dst, nbytes, fn, *args)
+        return self.store.transport.send(src, dst, nbytes, fn, *args)
 
     # -- client API ---------------------------------------------------------------
 
@@ -419,14 +457,14 @@ class TransactionalStore:
         """The read level the active policy dials right now."""
         if self.policy is None:
             return 1
-        return self.policy.read_level(self.store.sim.now)
+        return self.policy.read_level(self.transport.now)
 
     # -- commit orchestration -----------------------------------------------------
 
     def _start_commit(self, txn: Transaction) -> None:
-        sim = self.store.sim
+        tr = self.transport
         txn.state = "committing"
-        txn.t_commit = sim.now
+        txn.t_commit = tr.now
         if txn.read_failed:
             self.aborts["read-failed"] = self.aborts.get("read-failed", 0) + 1
             self._deliver(txn, "aborted", "read-failed")
@@ -447,7 +485,7 @@ class TransactionalStore:
             coord = live
             txn.coordinator = coord
         self._inflight[txn.txn_id] = txn
-        txn.timeout_event = sim.schedule(
+        txn.timeout_event = tr.set_timer(
             self.config.client_timeout, self._client_timeout, txn.txn_id
         )
         self.tms[coord].begin_commit(txn)
@@ -467,7 +505,7 @@ class TransactionalStore:
         if txn.timeout_event is not None:
             txn.timeout_event.cancel()
             txn.timeout_event = None
-        latency = self.store.sim.now - txn.t_commit
+        latency = self.transport.now - txn.t_commit
         if commit:
             self.commits += 1
             self.commit_latency.add(max(latency, 1e-9))
@@ -489,7 +527,7 @@ class TransactionalStore:
                     "committed" if commit else "aborted",
                     "resolved-in-doubt",
                     txn,
-                    self.store.sim.now,
+                    self.transport.now,
                 )
             )
             return
@@ -526,7 +564,7 @@ class TransactionalStore:
         txn.delivered = True
         if status != "in-doubt":
             txn.state = "finished"
-        outcome = TxnOutcome(txn.txn_id, status, reason, txn, self.store.sim.now)
+        outcome = TxnOutcome(txn.txn_id, status, reason, txn, self.transport.now)
         self._notify_listeners(outcome)
         if txn.done is not None:
             txn.done(outcome)
@@ -572,7 +610,7 @@ class TransactionalStore:
         instead of per sampler tick (a pre-crash live stretch still
         counts here; the oracle's budget only watches the current one).
         """
-        now = self.store.sim.now
+        now = self.transport.now
         open_dwell = 0.0
         for p in self.participants:
             if not self.store.nodes[p.node_id].up:

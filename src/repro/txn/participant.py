@@ -153,8 +153,8 @@ class TxnParticipant:
     def _node(self):
         return self.owner.store.nodes[self.node_id]
 
-    def _sim(self):
-        return self.owner.store.sim
+    def _transport(self):
+        return self.owner.transport
 
     def _protocol(self) -> str:
         return self.owner.config.commit_protocol
@@ -187,7 +187,7 @@ class TxnParticipant:
             self.wal.append(
                 REC_PREPARE,
                 txn_id,
-                self._sim().now,
+                self._transport().now,
                 tm_node=tm_node,
                 writes=dict(writes),
                 co=list(co_participants),
@@ -199,12 +199,12 @@ class TxnParticipant:
                 tm_node,
                 dict(writes),
                 [int(c) for c in co_participants],
-                t_registered=self._sim().now,
+                t_registered=self._transport().now,
             )
             self._schedule_poll(txn_id)
             obs = self.owner.obs
             if obs is not None:
-                obs.on_txn_prepared(self.node_id, txn_id, self._sim().now)
+                obs.on_txn_prepared(self.node_id, txn_id, self._transport().now)
         else:
             self.votes_no += 1
         self._send_vote(tm_node, txn_id, vote)
@@ -244,7 +244,7 @@ class TxnParticipant:
             return
         if not p.precommitted:
             p.precommitted = True
-            self.wal.append(REC_PRECOMMIT, txn_id, self._sim().now)
+            self.wal.append(REC_PRECOMMIT, txn_id, self._transport().now)
         # A pre-commit is proof of TM life: restart the backoff schedule.
         self._poll_attempts[txn_id] = 0
         self._term_uncertain.pop(txn_id, None)
@@ -266,7 +266,7 @@ class TxnParticipant:
 
     def _resolve(self, p: _Prepared, commit: bool) -> None:
         """Log the verdict, apply or discard, release, account the dwell."""
-        now = self._sim().now
+        now = self._transport().now
         self.wal.append(REC_COMMIT if commit else REC_ABORT, p.txn_id, now)
         if commit:
             self._apply(p)
@@ -289,7 +289,7 @@ class TxnParticipant:
     def _apply(self, p: _Prepared) -> None:
         """Install the prepared writes (last-write-wins, oracle-visible)."""
         node = self._node()
-        now = self._sim().now
+        now = self._transport().now
         oracle = self.owner.store.oracle
         for key in sorted(p.writes):
             version = p.writes[key]
@@ -305,7 +305,7 @@ class TxnParticipant:
         """Volatile state is lost; the WAL is all that survives."""
         # Close out the live in-doubt dwell of every prepared entry: the
         # node is dead from here until recovery, and dead is not blocked.
-        now = self._sim().now
+        now = self._transport().now
         for p in self.prepared.values():
             self.blocked_time += now - p.t_registered
         for ev in self._poll_events.values():
@@ -335,7 +335,7 @@ class TxnParticipant:
                 # the table for this entry forever (sticky across any
                 # number of further crashes -- every rebuild re-sets it).
                 recovered=True,
-                t_registered=self._sim().now,
+                t_registered=self._transport().now,
             )
             self.prepared[txn_id] = p
             for key in p.writes:
@@ -349,7 +349,7 @@ class TxnParticipant:
                 # ``restart=True`` overwrites the pre-crash start time even
                 # when the crash+recovery fell between two sampler ticks.
                 obs.on_txn_prepared(
-                    self.node_id, txn_id, self._sim().now, restart=True
+                    self.node_id, txn_id, self._transport().now, restart=True
                 )
             self._query_status(txn_id)
             self._schedule_poll(txn_id)
@@ -363,7 +363,7 @@ class TxnParticipant:
             txn_id,
             self._poll_attempts.get(txn_id, 0),
         )
-        self._poll_events[txn_id] = self._sim().schedule(delay, self._poll, txn_id)
+        self._poll_events[txn_id] = self._transport().set_timer(delay, self._poll, txn_id)
 
     def _cancel_poll(self, txn_id: int) -> None:
         ev = self._poll_events.pop(txn_id, None)
@@ -466,7 +466,7 @@ class TxnParticipant:
             if cfg.termination_timeout is not None
             else cfg.prepare_timeout
         )
-        self._sim().schedule(window, self._termination_timeout, txn_id, token)
+        self._transport().set_timer(window, self._termination_timeout, txn_id, token)
 
     def _termination_timeout(self, txn_id: int, token: int) -> None:
         """The round's reply window closed: missing peers count uncertain."""
@@ -518,7 +518,7 @@ class TxnParticipant:
                 # cannot have decided commit without this vote, so abort is
                 # authoritative. The pledge is the logged abort record.
                 self.wal.append(
-                    REC_ABORT, txn_id, self._sim().now, pledge=True
+                    REC_ABORT, txn_id, self._transport().now, pledge=True
                 )
                 verdict = "abort"
         else:

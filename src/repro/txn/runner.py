@@ -16,6 +16,7 @@ anomalies, and commit-latency percentiles.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional
 
@@ -256,7 +257,23 @@ class TxnRunOutcome:
     obs: Optional[RunObserver] = None
 
 
-def deploy_and_run_txn(
+def deploy_and_run_txn(*args: Any, **kwargs: Any) -> TxnRunOutcome:
+    """Deprecated spelling of the transactional path of :func:`repro.run`.
+
+    Same signature and behaviour as before; new code should build a
+    :class:`repro.RunSpec` with ``txn_workload=`` and call
+    :func:`repro.run`.
+    """
+    warnings.warn(
+        "deploy_and_run_txn() is deprecated; build a repro.RunSpec with "
+        "txn_workload= and call repro.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _deploy_and_run_txn(*args, **kwargs)
+
+
+def _deploy_and_run_txn(
     platform,
     policy_factory: Callable[[ReplicatedStore], Any],
     spec: TxnWorkloadSpec,

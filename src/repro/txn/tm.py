@@ -43,7 +43,9 @@ life, resetting the poller's termination countdown).
 
 Everything is deterministic: participants are contacted in sorted node
 order, retries iterate sorted un-acked sets, and all timing flows from
-the simulator clock.
+the owner's :class:`~repro.runtime.interface.Transport` clock -- the TM
+never touches a simulator or network object directly, so the identical
+state machine runs on the discrete-event and asyncio backends.
 """
 
 from __future__ import annotations
@@ -118,8 +120,8 @@ class TransactionManager:
     def _node(self):
         return self.owner.store.nodes[self.node_id]
 
-    def _sim(self):
-        return self.owner.store.sim
+    def _transport(self):
+        return self.owner.transport
 
     def _three_phase(self) -> bool:
         return self.owner.config.commit_protocol == "3pc"
@@ -129,8 +131,8 @@ class TransactionManager:
     def begin_commit(self, txn: "Transaction") -> None:
         """Run the commit protocol for ``txn``'s buffered writes."""
         st = self.owner.store
-        sim = self._sim()
-        now = sim.now
+        tr = self._transport()
+        now = tr.now
         writes_by_key: Dict[str, Version] = {}
         for key in sorted(txn.writes):
             st.write_seq += 1
@@ -185,7 +187,7 @@ class TransactionManager:
                 read_versions,
                 participants,
             )
-        t.timeout_event = sim.schedule(
+        t.timeout_event = tr.set_timer(
             self.owner.config.prepare_timeout, self._on_prepare_timeout, txn.txn_id
         )
 
@@ -217,23 +219,23 @@ class TransactionManager:
 
     def _precommit(self, t: _TmTxn) -> None:
         """All voted YES under 3PC: log the barrier and fan out PRE-COMMIT."""
-        sim = self._sim()
+        tr = self._transport()
         t.precommitted = True
         if t.timeout_event is not None:
             t.timeout_event.cancel()
             t.timeout_event = None
-        self.wal.append(REC_TM_PRECOMMIT, t.txn_id, sim.now)
+        self.wal.append(REC_TM_PRECOMMIT, t.txn_id, tr.now)
         obs = self.owner.obs
         if obs is not None:
             obs.on_txn_phase(
-                t.txn_id, "precommit", sim.now, node=self.node_id,
+                t.txn_id, "precommit", tr.now, node=self.node_id,
                 participants=len(t.participants),
             )
         self._send_precommits(t)
-        t.retry_event = sim.schedule(
+        t.retry_event = tr.set_timer(
             self.owner.config.retry_interval, self._retry_precommit, t.txn_id
         )
-        t.timeout_event = sim.schedule(
+        t.timeout_event = tr.set_timer(
             self.owner.config.prepare_timeout, self._on_precommit_timeout, t.txn_id
         )
 
@@ -257,7 +259,7 @@ class TransactionManager:
             return
         if self._node().up:
             self._send_precommits(t)
-        t.retry_event = self._sim().schedule(
+        t.retry_event = self._transport().set_timer(
             self.owner.config.retry_interval, self._retry_precommit, txn_id
         )
 
@@ -298,13 +300,13 @@ class TransactionManager:
 
     def _decide(self, t: _TmTxn, commit: bool, reason: Optional[str] = None) -> None:
         """The decision point: force-log, answer the client, fan out."""
-        sim = self._sim()
+        tr = self._transport()
         t.decision = "commit" if commit else "abort"
         if t.timeout_event is not None:
             t.timeout_event.cancel()
             t.timeout_event = None
         self.wal.append(
-            REC_TM_COMMIT if commit else REC_TM_ABORT, t.txn_id, sim.now
+            REC_TM_COMMIT if commit else REC_TM_ABORT, t.txn_id, tr.now
         )
         if commit:
             self.commits_decided += 1
@@ -323,14 +325,14 @@ class TransactionManager:
             obs.on_txn_phase(
                 t.txn_id,
                 "decide",
-                sim.now,
+                tr.now,
                 node=self.node_id,
                 outcome=t.decision,
                 reason=reason,
             )
         self.owner.txn_decided(t.txn_id, commit, reason)
         self._send_decisions(t)
-        t.retry_event = sim.schedule(
+        t.retry_event = tr.set_timer(
             self.owner.config.retry_interval, self._retry_decision, t.txn_id
         )
 
@@ -360,7 +362,7 @@ class TransactionManager:
             return
         if self._node().up:
             self._send_decisions(t)
-        t.retry_event = self._sim().schedule(
+        t.retry_event = self._transport().set_timer(
             self.owner.config.retry_interval, self._retry_decision, txn_id
         )
 
@@ -375,7 +377,7 @@ class TransactionManager:
         if len(t.acks) == len(t.participants):
             if t.retry_event is not None:
                 t.retry_event.cancel()
-            now = self._sim().now
+            now = self._transport().now
             self.wal.append(REC_TM_END, txn_id, now)
             del self._active[txn_id]
             obs = self.owner.obs
@@ -428,7 +430,7 @@ class TransactionManager:
 
     def on_recover(self) -> None:
         """Resume every unfinished WAL round until ``tm-end`` is durable."""
-        sim = self._sim()
+        tr = self._transport()
         for rec in self.wal.tm_unfinished():
             txn_id = rec.txn_id
             if txn_id in self._active:
@@ -447,15 +449,15 @@ class TransactionManager:
                 obs = self.owner.obs
                 if obs is not None:
                     obs.on_txn_phase(
-                        txn_id, "recover", sim.now, node=self.node_id,
+                        txn_id, "recover", tr.now, node=self.node_id,
                         outcome="precommit",
                     )
                 self._active[txn_id] = t
                 self._send_precommits(t)
-                t.retry_event = sim.schedule(
+                t.retry_event = tr.set_timer(
                     self.owner.config.retry_interval, self._retry_precommit, txn_id
                 )
-                t.timeout_event = sim.schedule(
+                t.timeout_event = tr.set_timer(
                     self.owner.config.prepare_timeout,
                     self._on_precommit_timeout,
                     txn_id,
@@ -464,7 +466,7 @@ class TransactionManager:
             if decision is None:
                 # Crashed before deciding: no participant can hold a commit,
                 # so the round resolves to abort (the presumed-abort rule).
-                self.wal.append(REC_TM_ABORT, txn_id, sim.now)
+                self.wal.append(REC_TM_ABORT, txn_id, tr.now)
                 self.aborts_decided += 1
                 self.owner.txn_decided(txn_id, False, "tm-crash")
                 t.decision = "abort"
@@ -474,14 +476,14 @@ class TransactionManager:
             obs = self.owner.obs
             if obs is not None:
                 obs.on_txn_phase(
-                    txn_id, "recover", sim.now, node=self.node_id, outcome=t.decision
+                    txn_id, "recover", tr.now, node=self.node_id, outcome=t.decision
                 )
             # Ack collection resumes from zero -- the pre-crash ack set was
             # volatile -- and runs until every participant (re-)acks and
             # ``tm-end`` finally lands in the log.
             self._active[txn_id] = t
             self._send_decisions(t)
-            t.retry_event = sim.schedule(
+            t.retry_event = tr.set_timer(
                 self.owner.config.retry_interval, self._retry_decision, txn_id
             )
 

@@ -52,10 +52,10 @@ class TestFailureInjector:
         inj = FailureInjector(store)
         inj.crash_storm([0, 2, 4], start=1.0, interval=2.0, downtime=1.0)
         store.sim.run(until=10.0)
-        crashes = [(t, e) for t, e in inj.log if e.startswith("crash")]
-        recoveries = [(t, e) for t, e in inj.log if e.startswith("recover")]
-        assert [t for t, _ in crashes] == [1.0, 3.0, 5.0]
-        assert [t for t, _ in recoveries] == [2.0, 4.0, 6.0]
+        crashes = [e for e in inj.events if e.kind == "node-crash"]
+        recoveries = [e for e in inj.events if e.kind == "node-recover"]
+        assert [e.t for e in crashes] == [1.0, 3.0, 5.0]
+        assert [e.t for e in recoveries] == [2.0, 4.0, 6.0]
         assert all(store.nodes[n].up for n in (0, 2, 4))
 
     def test_crash_storm_validates_timing(self, store):
@@ -72,7 +72,7 @@ class TestFailureInjector:
         assert not store.nodes[0].up
         store.sim.run(until=4.0)
         assert store.nodes[0].up
-        assert len(inj.log) == 2
+        assert [e.kind for e in inj.events] == ["node-crash", "node-recover"]
 
     def test_crash_validation(self, store):
         inj = FailureInjector(store)

@@ -32,8 +32,8 @@ from repro.elastic import (
     ElasticSpec,
     RebalanceConfig,
     StreamingRebalancer,
-    deploy_and_run_elastic,
 )
+from repro.facade import RunSpec, run
 from repro.cost.pricing import EC2_US_EAST_2013
 from repro.experiments.platforms import small_dc_platform
 from repro.experiments.runner import harmony_factory, static_factory
@@ -562,10 +562,10 @@ class TestAutoscaler:
 
 class TestElasticScenarios:
     def test_elastic_harness_produces_block(self):
-        out = deploy_and_run_elastic(
-            small_dc_platform(),
-            harmony_factory(0.3),
-            ElasticSpec(
+        out = run(RunSpec(
+            platform=small_dc_platform(),
+            policy=harmony_factory(0.3),
+            elastic=ElasticSpec(
                 autoscaler=AutoscalerConfig(
                     interval=0.02, consecutive=2, cooldown=0.08,
                     scale_out_util=0.5, scale_in_util=0.1, max_nodes=8,
@@ -576,7 +576,7 @@ class TestElasticScenarios:
             ops=3000,
             clients=48,
             seed=3,
-        )
+        ))
         block = out.report.elastic
         assert block is not None
         assert block["scale_outs"] >= 1
@@ -586,15 +586,15 @@ class TestElasticScenarios:
         assert out.report.stale_rate <= 1.0
 
     def test_pacing_schedule_repaces_clients(self):
-        out = deploy_and_run_elastic(
-            small_dc_platform(),
-            static_factory(1, 1, name="one"),
-            ElasticSpec(pacing_schedule=((0.05, 100.0),)),
+        out = run(RunSpec(
+            platform=small_dc_platform(),
+            policy=static_factory(1, 1, name="one"),
+            elastic=ElasticSpec(pacing_schedule=((0.05, 100.0),)),
             ops=1000,
             clients=8,
             seed=3,
             target_throughput=8000.0,
-        )
+        ))
         # after the 0.05s step-down to 100 ops/s, the run must stretch out
         assert out.report.duration > 1.0
         assert out.report.throughput < 2000.0
@@ -607,20 +607,21 @@ class TestElasticScenarios:
         one (and the static path must still price exactly n x duration).
         """
         from repro.experiments.platforms import ec2_harmony_platform
-        from repro.experiments.runner import deploy_and_run
 
         kwargs = dict(ops=1500, clients=16, seed=3, target_throughput=1000.0)
-        static = deploy_and_run(
-            ec2_harmony_platform(), harmony_factory(0.4), **kwargs
-        )
+        static = run(RunSpec(
+            platform=ec2_harmony_platform(),
+            policy=harmony_factory(0.4),
+            **kwargs,
+        ))
         rate = ec2_harmony_platform().prices.instance_rate_per_second()
         assert static.bill.instance_cost == pytest.approx(
             20 * static.bill.duration * rate
         )
-        elastic = deploy_and_run_elastic(
-            ec2_harmony_platform(),
-            harmony_factory(0.4),
-            ElasticSpec(
+        elastic = run(RunSpec(
+            platform=ec2_harmony_platform(),
+            policy=harmony_factory(0.4),
+            elastic=ElasticSpec(
                 autoscaler=AutoscalerConfig(
                     interval=0.05, consecutive=2, cooldown=0.1,
                     scale_out_util=0.55, scale_in_util=0.2, min_nodes=6,
@@ -628,7 +629,7 @@ class TestElasticScenarios:
                 rebalance=RebalanceConfig(pump_interval=0.005, attempt_timeout=0.1),
             ),
             **kwargs,
-        )
+        ))
         assert elastic.report.elastic["scale_ins"] >= 1
         assert elastic.bill.instance_cost < 0.9 * static.bill.instance_cost
 

@@ -7,8 +7,8 @@ The load-bearing guarantees:
 - with observability off, no observer object or bus subscription exists
   (the zero-overhead path);
 - sweep artifacts are byte-identical across ``--jobs`` settings;
-- the legacy surfaces (``FailureInjector.log``, ``ClusterMonitor``
-  counters) read the same through the new structured plumbing.
+- failure injection is observable as typed events
+  (``FailureInjector.events`` + the store's event bus).
 """
 
 from __future__ import annotations
@@ -21,7 +21,8 @@ import pytest
 from repro.cluster.failures import FailureInjector
 from repro.common.errors import ConfigError
 from repro.experiments import scenarios
-from repro.experiments.runner import deploy_and_run, harmony_factory
+from repro.experiments.runner import harmony_factory
+from repro.facade import RunSpec, run
 from repro.experiments.sweep import SweepRunner, plan_sweep
 from repro.obs.events import EventBus, ObsEvent
 from repro.obs.metrics import MetricsRegistry
@@ -179,7 +180,7 @@ class TestTimeSeriesSampler:
 
 
 class TestFailureInjectorEvents:
-    def test_structured_events_and_legacy_log_agree(self, store):
+    def test_structured_events_record_every_action(self, store):
         inj = FailureInjector(store)
         inj.crash_node(2, at=1.0, duration=0.5)
         inj.partition(0, 1, at=2.0)
@@ -188,11 +189,10 @@ class TestFailureInjectorEvents:
         kinds = [e.kind for e in inj.events]
         assert kinds == ["node-crash", "node-recover", "partition"]
         assert inj.events[0].data["node"] == 2
-        assert inj.log == [
-            (1.0, "crash node 2"),
-            (1.5, "recover node 2"),
-            (2.0, "partition dc0<->dc1"),
-        ]
+        assert [e.t for e in inj.events] == [1.0, 1.5, 2.0]
+        assert inj.events[2].data == {"dc_a": 0, "dc_b": 1}
+        # the string-log shim is gone: events are the only record
+        assert not hasattr(inj, "log")
 
     def test_events_published_on_store_bus(self, simple_store):
         seen = []
@@ -266,13 +266,15 @@ class TestMarkers:
         def script(inj: FailureInjector) -> None:
             inj.crash_node(0, at=0.02, duration=0.03)
 
-        return deploy_and_run(
-            ec2_harmony_platform(),
-            harmony_factory(0.4),
-            ops=1200,
-            seed=5,
-            failure_script=script,
-            obs=ObsConfig(sample_interval=0.02),
+        return run(
+            RunSpec(
+                platform=ec2_harmony_platform(),
+                policy=harmony_factory(0.4),
+                ops=1200,
+                seed=5,
+                failure_script=script,
+                obs=ObsConfig(sample_interval=0.02),
+            )
         )
 
     def test_crash_and_recover_markers_recorded(self):
